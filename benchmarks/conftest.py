@@ -1,0 +1,16 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one figure or quantitative claim from the paper
+(see DESIGN.md section 4).  Scenario runs are timed with
+``benchmark.pedantic(rounds=1)`` -- these are reproductions, not
+micro-benchmarks -- and each bench *asserts* the paper's qualitative shape
+before reporting.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time a single execution of a full scenario."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

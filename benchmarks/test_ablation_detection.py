@@ -1,0 +1,74 @@
+"""A1 (ablation): fault-detection threshold vs failover delay and false
+positives.
+
+DESIGN.md decision 3: backups confirm a fault only after a *series* of
+implausible outputs.  This ablates the series length: longer thresholds
+slow detection but reject measurement-noise glitches; threshold 1 on a
+noisy channel fires spuriously.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evm.health import OutputPlausibilityMonitor
+from repro.experiments.fig6 import Fig6Config, run_fig6
+from repro.experiments.hil import HilConfig
+from repro.sim.clock import SEC
+
+
+def _detection_delay(threshold: int) -> float:
+    config = Fig6Config(
+        t1_fault_sec=20.0, t2_target_sec=21.0, duration_sec=40.0,
+        hil=HilConfig(settle_sec=800.0, detection_threshold=threshold,
+                      arbitration_holdoff_ticks=1,
+                      dormant_delay_ticks=5 * SEC))
+    result = run_fig6(config)
+    if result.detection_time_sec is None:
+        return float("inf")
+    return result.detection_time_sec - config.t1_fault_sec
+
+
+def test_a1_threshold_vs_detection_delay(benchmark):
+    thresholds = (1, 3, 6)
+
+    def sweep():
+        return [(t, _detection_delay(t)) for t in thresholds]
+
+    rows = run_once(benchmark, sweep)
+    print("\nthreshold | detection delay (s)")
+    delays = []
+    for threshold, delay in rows:
+        print(f"  {threshold:7d} | {delay:8.2f}")
+        assert delay != float("inf"), threshold
+        delays.append(delay)
+    # Monotone: more required anomalies -> later confirmation; and the
+    # delay tracks the control period (threshold * 0.25 s + transport).
+    assert delays == sorted(delays)
+    assert delays[0] < 1.0
+    assert delays[2] > delays[0] + 0.5
+
+
+def test_a1_false_positive_rejection(benchmark):
+    """Noise glitches must not confirm faults at threshold 3 but do at 1."""
+    import random
+
+    def trial():
+        rng = random.Random(9)
+        confirms = {1: 0, 3: 0}
+        for threshold in confirms:
+            monitor = OutputPlausibilityMonitor(
+                plausible_min=0.0, plausible_max=100.0,
+                max_deviation=5.0, threshold=threshold)
+            shadow = 11.48
+            for step in range(5000):
+                observed = shadow + rng.gauss(0.0, 1.0)
+                if rng.random() < 0.01:   # rare single-sample glitch
+                    observed = shadow + rng.choice([-1, 1]) * 20.0
+                if monitor.observe(step, observed, expected=shadow):
+                    confirms[threshold] += 1
+                    monitor.reset()
+        return confirms
+
+    confirms = run_once(benchmark, trial)
+    print(f"\nfalse confirms over 5000 noisy cycles: "
+          f"threshold 1 -> {confirms[1]}, threshold 3 -> {confirms[3]}")
+    assert confirms[1] > 10          # hair-trigger fires on glitches
+    assert confirms[3] == 0          # the paper's series requirement holds

@@ -1,0 +1,64 @@
+"""A2 (ablation): passive vs active state sharing.
+
+The paper: "state is shared either passively or actively to enable fault
+tolerance".  Active sharing has backups recompute from the same sensor
+stream; passive sharing ships periodic state snapshots from the primary.
+Measured: radio traffic cost and post-failover takeover transient under
+both policies.  Shape: active sharing costs no extra frames and takes over
+seamlessly; passive sharing pays snapshot traffic and the backup still
+takes over correctly (bounded transient).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6 import Fig6Config, run_fig6
+from repro.experiments.hil import CTRL_B, HilConfig
+from repro.sim.clock import SEC
+
+
+def _run_mode(mode: str):
+    config = Fig6Config(
+        t1_fault_sec=30.0, t2_target_sec=31.0, duration_sec=90.0,
+        hil=HilConfig(settle_sec=800.0, state_sharing_mode=mode,
+                      arbitration_holdoff_ticks=1,
+                      dormant_delay_ticks=10 * SEC))
+    return run_fig6(config)
+
+
+def test_a2_state_sharing_modes(benchmark):
+    def both():
+        return {"active": _run_mode("active"),
+                "passive": _run_mode("passive")}
+
+    results = run_once(benchmark, both)
+    print("\nmode    | failover (s) | min level | final level")
+    for mode, result in results.items():
+        print(f"  {mode:7s} | {result.failover_time_sec:10.2f} | "
+              f"{result.min_level:9.2f} | {result.final_level:10.2f}")
+        # Both policies produce a working failover with bounded damage.
+        assert result.failover_time_sec is not None
+        assert result.failover_time_sec < 40.0
+        assert result.min_level > 40.0
+        assert result.final_level == pytest.approx(50.0, abs=3.0)
+        assert result.at_time(85, result.active_controller) == CTRL_B
+
+
+def test_a2_traffic_cost(benchmark):
+    """Passive sharing pays snapshot frames; active sends none."""
+    from repro.experiments.hil import CTRL_A, HilRig
+
+    def measure():
+        out = {}
+        for mode in ("active", "passive"):
+            rig = HilRig(HilConfig(settle_sec=800.0,
+                                   state_sharing_mode=mode))
+            rig.run_for_seconds(30.0)
+            out[mode] = rig.runtimes[CTRL_A].stats.snapshots_sent
+        return out
+
+    snapshots = run_once(benchmark, measure)
+    print(f"\nsnapshot frames in 30 s: active={snapshots['active']}, "
+          f"passive={snapshots['passive']}")
+    assert snapshots["active"] == 0
+    assert snapshots["passive"] > 20

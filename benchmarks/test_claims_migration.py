@@ -1,0 +1,122 @@
+"""C4 (section 3 operations): task migration and attestation costs.
+
+The migration protocol ships "the task control block, stack, data and
+timing/precedence-related metadata".  Measured: migration completion time
+and radio traffic as a function of task state size (64 B .. 4 KB stacks),
+over a live RT-Link network; plus attestation throughput.  Shape: time and
+bytes scale linearly with image size; every migrated image passes
+attestation; per-image attestation cost is trivial next to airtime.
+"""
+
+import random
+
+from benchmarks.conftest import run_once
+from repro.evm.attestation import attest_digest
+from repro.evm.migration import MigrationManager, encode_value
+from repro.rtos.task import TaskSpec, Tcb
+from repro.sim.clock import MS, SEC
+from repro.sim.engine import Engine
+
+
+class _Fabric:
+    """Slot-paced loopback fabric approximating one RT-Link slot per frame."""
+
+    def __init__(self, engine, frame_ticks=250 * MS):
+        self.engine = engine
+        self.frame_ticks = frame_ticks
+        self.managers = {}
+        self.bytes_moved = 0
+        self._next_free = {}
+
+    def sender_for(self, src):
+        def send(dst, kind, payload, size_bytes):
+            self.bytes_moved += size_bytes
+            # One frame per queued packet: TDMA pacing.
+            slot = max(self._next_free.get(src, self.engine.now),
+                       self.engine.now)
+            self._next_free[src] = slot + self.frame_ticks
+            delay = (slot - self.engine.now) + 2 * MS
+            self.engine.schedule(
+                delay, lambda: self.managers[dst].handle_message(
+                    src, kind, payload))
+            return True
+
+        return send
+
+
+def _migrate_with_stack(stack_bytes: int):
+    engine = Engine()
+    fabric = _Fabric(engine)
+    outcomes = []
+    src = MigrationManager(engine, "src", fabric.sender_for("src"),
+                           can_accept=lambda *a: (False, ""),
+                           install=lambda *a: (False, ""),
+                           timeout_ticks=600 * SEC)
+    dst = MigrationManager(engine, "dst", fabric.sender_for("dst"),
+                           can_accept=lambda *a: (True, ""),
+                           install=lambda *a: (True, ""),
+                           timeout_ticks=600 * SEC)
+    fabric.managers = {"src": src, "dst": dst}
+    spec = TaskSpec("ctrl", wcet_ticks=2 * MS, period_ticks=250 * MS,
+                    stack_bytes=stack_bytes)
+    tcb = Tcb(spec)
+    tcb.data["memory"] = [float(i) for i in range(16)]
+    rng = random.Random(stack_bytes)
+    tcb.stack[:] = bytes(rng.randrange(256) for _ in range(stack_bytes))
+    src.initiate(tcb.snapshot_image(), "dst", on_done=outcomes.append)
+    engine.run_until(600 * SEC)
+    outcome = outcomes[0]
+    return outcome, fabric.bytes_moved
+
+
+def test_c4_migration_cost_scales_with_state(benchmark):
+    sizes = (64, 256, 1024, 4096)
+
+    def sweep():
+        return [(size, *_migrate_with_stack(size)) for size in sizes]
+
+    rows = run_once(benchmark, sweep)
+    print("\nstack bytes | migration time (s) | fragments | bytes on air")
+    durations = []
+    for size, outcome, moved in rows:
+        assert outcome.ok, size
+        seconds = outcome.duration_ticks / SEC
+        durations.append(seconds)
+        print(f"  {size:9d} | {seconds:17.2f} | {outcome.fragments:9d} "
+              f"| {moved:9d}")
+    # Linear-ish scaling: 64x more state costs far more time (TDMA-paced),
+    # monotone in size.
+    assert durations == sorted(durations)
+    assert durations[-1] > 5 * durations[0]
+
+
+def test_c4_attestation_overhead(benchmark):
+    """Digest throughput over control-task-sized images."""
+    def random_image(seed):
+        rng = random.Random(seed)
+        return bytes(rng.randrange(256) for _ in range(1024))
+
+    images = [random_image(i) for i in range(64)]
+    nonce = b"\x01\x02\x03\x04\x05\x06\x07\x08"
+
+    def digest_all():
+        return [attest_digest(image, nonce) for image in images]
+
+    digests = benchmark(digest_all)
+    assert len(set(digests)) == len(images)  # distinct images, distinct digests
+
+
+def test_c4_image_encoding_compact(benchmark):
+    """The wire image stays close to the raw state size (low framing tax)."""
+
+    def encode():
+        spec = TaskSpec("ctrl", wcet_ticks=2 * MS, period_ticks=250 * MS,
+                        stack_bytes=512)
+        tcb = Tcb(spec)
+        tcb.data["memory"] = [1.0] * 16
+        return tcb.snapshot_image(), encode_value(tcb.snapshot_image())
+
+    image, blob = run_once(benchmark, encode)
+    raw_state = 512 + 16 * 8
+    assert len(blob) < raw_state + 400
+    print(f"\nimage: {raw_state} B of raw state -> {len(blob)} B on the wire")

@@ -1,0 +1,65 @@
+"""F1 (Fig. 1): Virtual Component composition over a WSAC grid.
+
+Three VCs composed over a 9-node network; BQP placement against the greedy
+baseline.  Shape: every component places feasibly, capabilities are
+respected, and the BQP cost never exceeds greedy's.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig1 import build_fig1_problem
+
+
+def test_fig1_composition(benchmark):
+    result = run_once(benchmark, build_fig1_problem)
+    assert len(result.components) == 3
+    for name in result.components:
+        assert result.bqp[name].feasible, name
+        assert result.bqp[name].cost <= result.greedy[name].cost + 1e-9
+    # Placement respects capabilities everywhere.
+    for name, vc in result.components.items():
+        for task_name, node_id in result.bqp[name].placement.items():
+            task = vc.tasks[task_name]
+            assert task.required_capabilities <= \
+                vc.members[node_id].capabilities
+    print()
+    print(result.describe())
+
+
+def test_fig1_bqp_beats_greedy_under_traffic(benchmark):
+    """On traffic-heavy instances the quadratic term matters: quantify the
+    average improvement over the greedy baseline."""
+    import random
+
+    from repro.evm.optimizer import AssignmentProblem, bqp_assign, greedy_assign
+    from repro.evm.tasks import LogicalTask
+    from repro.evm.virtual_component import VcMember
+    from repro.sim.clock import MS
+
+    def sweep():
+        rng = random.Random(17)
+        improvements = []
+        for _trial in range(12):
+            tasks = [LogicalTask(f"t{i}", "law", period_ticks=100 * MS,
+                                 wcet_ticks=(5 + rng.randrange(20)) * MS)
+                     for i in range(5)]
+            nodes = [VcMember(f"n{j}", frozenset(), cpu_capacity=0.6)
+                     for j in range(4)]
+            traffic = {(a.name, b.name): rng.uniform(1, 6)
+                       for i, a in enumerate(tasks)
+                       for b in tasks[i + 1:] if rng.random() < 0.7}
+            hops = {(f"n{i}", f"n{j}"): abs(i - j)
+                    for i in range(4) for j in range(i + 1, 4)}
+            problem = AssignmentProblem(tasks=tasks, nodes=nodes,
+                                        traffic=traffic, hops=hops)
+            exact = bqp_assign(problem)
+            greedy = greedy_assign(problem)
+            if greedy.feasible and greedy.cost > 0:
+                improvements.append(1.0 - exact.cost / greedy.cost)
+        return improvements
+
+    improvements = run_once(benchmark, sweep)
+    assert improvements
+    assert min(improvements) >= -1e-9  # never worse
+    mean_gain = sum(improvements) / len(improvements)
+    print(f"\nBQP vs greedy mean cost reduction: {mean_gain * 100:.1f}% "
+          f"over {len(improvements)} instances")

@@ -1,0 +1,77 @@
+"""F4 (Fig. 4): the natural gas plant flowsheet.
+
+Settles the plant under its eight local regulators and reproduces the
+flowsheet's stream table.  Shape checks: the paper's operating point
+(LTS level 50 %, valve ~11.48 %), separation temperatures, low-propane
+bottoms, and overall mass closure.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.plant.gas_plant import NaturalGasPlant
+
+
+def _settle():
+    plant = NaturalGasPlant()
+    snapshot = plant.settle(2000.0)
+    return plant, snapshot
+
+
+def test_fig4_steady_state_stream_table(benchmark):
+    plant, snapshot = run_once(benchmark, _settle)
+    table = plant.stream_table()
+    print("\nStream table (molar flow mol/s, T degC, P kPa, C3 frac):")
+    for name, row in table.items():
+        print(f"  {name:18s} F={row['molar_flow']:8.3f} "
+              f"T={row['temperature_c']:7.2f} P={row['pressure_kpa']:7.1f} "
+              f"C3={row['C3_frac']:6.4f}")
+    # The case-study operating point.
+    assert snapshot["lts_level_pct"] == pytest.approx(50.0, abs=0.5)
+    assert snapshot["lts_valve_pct"] == pytest.approx(11.48, abs=0.5)
+    # Refrigeration actually refrigerates.
+    assert table["chiller_out"]["temperature_c"] == pytest.approx(-20.0,
+                                                                  abs=1.0)
+    # Low-propane bottoms product (the flowsheet's purpose).
+    assert table["bottoms"]["C3_frac"] < 0.15
+    # Heavies concentrate down the liquid train.
+    assert table["tower_feed"]["C3_frac"] > table["feed"]["C3_frac"]
+    # Mass closure within the lumped model's tolerance.
+    feed = table["feed"]["molar_flow"]
+    out = (table["sales_gas"]["molar_flow"]
+           + table["distillate"]["molar_flow"]
+           + table["bottoms"]["molar_flow"]
+           + plant.depropanizer.overhead_gas_out.molar_flow)
+    assert out == pytest.approx(feed, rel=0.1)
+
+
+def test_fig4_all_loops_regulate(benchmark):
+    plant, snapshot = run_once(benchmark, _settle)
+    print("\nLoop PVs at steady state:")
+    for loop in plant.loops:
+        pv = plant.flowsheet.read(loop.pv)
+        print(f"  {loop.name:18s} PV={pv:9.2f} SP={loop.config.setpoint:9.2f}")
+        span = abs(loop.config.setpoint) * 0.05 + 2.0
+        assert pv == pytest.approx(loop.config.setpoint, abs=span), loop.name
+
+
+def test_fig4_disturbance_rejection(benchmark):
+    """Step the feed +15 %: the level loops absorb it."""
+
+    def trial():
+        plant, _ = _settle()
+        plant.feed1.molar_flow *= 1.15
+        for _ in range(2400):
+            plant.step(0.5)
+        return plant
+
+    plant = run_once(benchmark, trial)
+    assert plant.flowsheet.read("lts_level_pct") == pytest.approx(50.0,
+                                                                  abs=2.0)
+    assert plant.flowsheet.read("inlet_sep_level_pct") == pytest.approx(
+        50.0, abs=2.0)
+    # More feed -> more liquids -> the valve sits wider open than 11.48 %.
+    assert plant.flowsheet.read("lts_valve_pct") > 11.6
+    print(f"\nafter +15% feed: valve="
+          f"{plant.flowsheet.read('lts_valve_pct'):.2f}% "
+          f"level={plant.flowsheet.read('lts_level_pct'):.2f}%")

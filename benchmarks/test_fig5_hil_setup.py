@@ -1,0 +1,54 @@
+"""F5 (Fig. 5): the wireless HIL rig end-to-end.
+
+Six FireFly nodes (gateway + sensor + 2 controllers + spare + actuator) on
+RT-Link close the LTS level loop against the plant through the ModBus
+gateway.  Shape: the loop holds the plant at its operating point over
+hundreds of control cycles with zero MAC collisions, and both paper latency
+objectives hold (cycle <= 250 ms, sensing-to-actuation <= cycle/3).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.hil import HilConfig, HilRig
+from repro.sim.clock import MS
+
+
+def _run_rig(seconds=150.0):
+    rig = HilRig(HilConfig(settle_sec=1200.0))
+    rig.run_for_seconds(seconds)
+    return rig
+
+
+def test_fig5_closed_loop_over_wireless(benchmark):
+    rig = run_once(benchmark, _run_rig)
+    # ~600 control cycles executed.
+    ctrl = rig.runtimes["ctrl_a"].instances["lts_ctrl"]
+    assert ctrl.jobs_run > 500
+    # The wireless loop holds the plant at the operating point.
+    assert rig.read("lts_level_pct") == pytest.approx(50.0, abs=1.0)
+    assert rig.read("lts_valve_pct") == pytest.approx(11.48, abs=1.0)
+    # RT-Link carried all of it collision-free.
+    assert rig.medium.stats.collisions == 0
+    sensor_published = rig.runtimes["s1"].stats.data_published
+    applied = rig.runtimes["act1"].stats.data_applied
+    print(f"\n{ctrl.jobs_run} control cycles; sensor published "
+          f"{sensor_published} samples; actuator applied {applied} "
+          f"commands; 0 collisions")
+
+
+def test_fig5_latency_breakdown(benchmark):
+    rig = run_once(benchmark, _run_rig, 60.0)
+    latencies = rig.io_latencies
+    assert len(latencies) > 100
+    mean = sum(latencies) / len(latencies)
+    worst = max(latencies)
+    cycle = rig.config.control_period_ticks
+    print(f"\nsensing->actuation latency over {len(latencies)} cycles: "
+          f"mean {mean / MS:.1f} ms, worst {worst / MS:.1f} ms "
+          f"(cycle {cycle / MS:.0f} ms, objective <= {cycle / 3 / MS:.0f} ms)")
+    assert worst <= cycle / 3
+    # MAC-level per-hop latency is bounded by the frame length.
+    for node_id, mac in rig.macs.items():
+        assert mac.stats.max_latency() <= rig.mac_config.frame_ticks \
+            + 10 * MS, node_id

@@ -1,0 +1,96 @@
+"""F6b (Fig. 6(b)): THE headline experiment.
+
+Process control outputs during primary controller failure (T1 = 300 s),
+reconfiguration (T2 = 600 s) and dormant parking (T3 = 800 s), on the full
+wireless stack.  Asserted shape, series by series, against the paper's
+figure:
+
+- LTS level: flat at 50 % -> collapses after T1 -> recovers slowly after T2;
+- LTSLiq molar flow: spikes when the valve wedges at 75 %, stays elevated
+  (gas blow-by) through the fault window, shuts off during recovery;
+- TowerFeed molar flow: mirrors the spike and restoration;
+- SepLiq molar flow: disturbed through the shared liquid header, restored;
+- the active controller switches Ctrl-A -> Ctrl-B at T2; Ctrl-A parks
+  Dormant at T3 = T2 + 200 s.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6 import Fig6Config, run_fig6
+from repro.experiments.hil import CTRL_A, CTRL_B
+from repro.experiments.metrics import (
+    first_crossing_sec,
+    max_in_window,
+    min_in_window,
+)
+
+
+def test_fig6b_failover_transient(benchmark):
+    config = Fig6Config()  # the paper's timeline: 300 / 600 / 800 s
+    result = run_once(benchmark, run_fig6, config)
+    print()
+    print(result.summary())
+
+    times = result.times_sec
+    t1 = config.t1_fault_sec
+
+    # --- event times match the published timeline -----------------------
+    assert result.detection_time_sec == pytest.approx(t1, abs=5.0)
+    assert result.failover_time_sec == pytest.approx(600.0, abs=10.0)
+    assert result.dormant_time_sec == pytest.approx(800.0, abs=10.0)
+
+    # --- LTS level (solid red) ------------------------------------------
+    assert result.pre_fault_level == pytest.approx(50.0, abs=1.0)
+    # Rapid drop after T1: below 10 % within ~150 s.
+    crossed = first_crossing_sec(times, result.lts_level_pct, 10.0,
+                                 "below", after_sec=t1)
+    assert crossed is not None and crossed < t1 + 150
+    # Recovery begins after T2 and makes substantial progress by 1000 s.
+    assert min_in_window(times, result.lts_level_pct, 550, 600) < 5.0
+    assert result.final_level > 25.0
+    # Monotone-ish recovery: level at 900 s above level at 700 s.
+    assert result.at_time(900, result.lts_level_pct) > \
+        result.at_time(700, result.lts_level_pct) + 10
+
+    # --- LTSLiq molar flow (dash-dotted magenta) -------------------------
+    pre_ltsliq = result.at_time(200, result.lts_liq_flow)
+    peak_ltsliq = max_in_window(times, result.lts_liq_flow, t1, 600)
+    assert peak_ltsliq > 4 * pre_ltsliq  # the wedged-valve spike
+    # During recovery the controller shuts the valve: flow ~ 0.
+    assert result.at_time(750, result.lts_liq_flow) < 1.0
+
+    # --- TowerFeed molar flow (dotted green) ----------------------------
+    pre_tower = result.pre_fault_tower_flow
+    assert max_in_window(times, result.tower_feed_flow, t1, 600) > \
+        3 * pre_tower
+    # Restored toward pre-fault values (recovery still refilling the LTS,
+    # so tower feed runs below nominal at 1000 s, as in the paper).
+    assert result.final_tower_flow < pre_tower
+
+    # --- SepLiq molar flow (dashed blue) ---------------------------------
+    pre_sep = result.at_time(200, result.sep_liq_flow)
+    sep_min = min_in_window(times, result.sep_liq_flow, t1, 650)
+    sep_max = max_in_window(times, result.sep_liq_flow, t1, 650)
+    assert sep_min < pre_sep - 0.3     # choked by header back-pressure
+    assert sep_max > pre_sep + 0.3     # rebound during reconfiguration
+    assert result.sep_liq_flow[-1] == pytest.approx(pre_sep, abs=1.0)
+
+    # --- controller roles -------------------------------------------------
+    assert result.at_time(100, result.active_controller) == CTRL_A
+    assert result.at_time(900, result.active_controller) == CTRL_B
+
+
+def test_fig6b_wedged_valve_value(benchmark):
+    """The fault drives the valve to 75 % (vs the correct ~11.48 %)."""
+    config = Fig6Config(duration_sec=450.0)
+    result = run_once(benchmark, run_fig6, config)
+    # Pre-fault the valve sits at the paper's operating point.
+    assert result.at_time(250, result.valve_pct) == pytest.approx(11.48,
+                                                                  abs=1.0)
+    # During the fault window the physical valve tracks the wedged 75 %.
+    assert result.at_time(400, result.valve_pct) == pytest.approx(75.0,
+                                                                  abs=1.5)
+    print(f"\nvalve: {result.at_time(250, result.valve_pct):.2f}% before "
+          f"fault -> {result.at_time(400, result.valve_pct):.2f}% wedged "
+          f"(paper: 11.48% -> 75%)")

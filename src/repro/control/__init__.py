@@ -1,0 +1,40 @@
+"""Control engineering substrate.
+
+The case study's controllers "perform second order filtering with a PID
+regulator".  This package provides:
+
+- :class:`~repro.control.pid.PidController` -- a positional PID with
+  anti-windup and output clamping;
+- :class:`~repro.control.filters.SecondOrderLowpass` -- an RBJ biquad
+  low-pass (direct form II transposed);
+- :class:`~repro.control.controller.FilteredPidController` -- the composed
+  control law, in reference (Python) form;
+- :mod:`~repro.control.compiler` -- compiles the same law to EVM bytecode,
+  so the simulated nodes genuinely interpret it (and migration genuinely
+  transplants its state).
+"""
+
+from repro.control.compiler import (
+    SLOT_INPUT,
+    SLOT_INTEGRAL,
+    SLOT_OUTPUT,
+    SLOT_PREV_ERROR,
+    SLOT_SETPOINT,
+    compile_filtered_pid,
+)
+from repro.control.controller import ControlLawConfig, FilteredPidController
+from repro.control.filters import SecondOrderLowpass
+from repro.control.pid import PidController
+
+__all__ = [
+    "PidController",
+    "SecondOrderLowpass",
+    "ControlLawConfig",
+    "FilteredPidController",
+    "compile_filtered_pid",
+    "SLOT_INPUT",
+    "SLOT_OUTPUT",
+    "SLOT_SETPOINT",
+    "SLOT_INTEGRAL",
+    "SLOT_PREV_ERROR",
+]

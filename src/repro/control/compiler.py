@@ -1,0 +1,162 @@
+"""Compile the case-study control law to EVM bytecode.
+
+The controllers in the paper's evaluation "perform second order filtering
+with a PID regulator".  :func:`compile_filtered_pid` emits that law as a
+FORTH-like EVM program operating on a fixed task-memory layout, so the
+simulated nodes *interpret* the control law -- and migrating the task
+genuinely transplants filter state, integral and error history.
+
+Task memory layout (slots):
+
+====  ===================  =========================================
+slot  name                 meaning
+====  ===================  =========================================
+0     SLOT_INPUT           raw measurement (written by sensor transfer)
+1     SLOT_OUTPUT          actuation command (published to actuator)
+2     SLOT_SETPOINT        reference value
+3     SLOT_FILTER_Z1       biquad state 1
+4     SLOT_FILTER_Z2       biquad state 2
+5     SLOT_INTEGRAL        PID integral accumulator
+6     SLOT_PREV_ERROR      previous filtered error (derivative)
+7     SLOT_FILTERED        filtered measurement (exposed for monitors)
+8     SLOT_MODE            spare mode/guard slot for causal transfers
+9     SLOT_SCRATCH         interpreter scratch
+====  ===================  =========================================
+"""
+
+from __future__ import annotations
+
+from repro.control.filters import BiquadCoefficients
+from repro.evm.bytecode import Assembler, Program
+
+SLOT_INPUT = 0
+SLOT_OUTPUT = 1
+SLOT_SETPOINT = 2
+SLOT_FILTER_Z1 = 3
+SLOT_FILTER_Z2 = 4
+SLOT_INTEGRAL = 5
+SLOT_PREV_ERROR = 6
+SLOT_FILTERED = 7
+SLOT_MODE = 8
+SLOT_SCRATCH = 9
+
+MEMORY_SLOTS = 16
+"""Declared data-segment size for compiled control tasks."""
+
+
+def compile_filtered_pid(
+    name: str,
+    coefficients: BiquadCoefficients,
+    kp: float,
+    ki: float,
+    kd: float,
+    dt_sec: float,
+    out_min: float = 0.0,
+    out_max: float = 100.0,
+    integral_min: float = -1000.0,
+    integral_max: float = 1000.0,
+) -> Program:
+    """Emit the second-order-filter + PID program.
+
+    Reads SLOT_INPUT and SLOT_SETPOINT, updates the filter/PID state slots,
+    writes the clamped command to SLOT_OUTPUT and the filtered measurement
+    to SLOT_FILTERED.
+    """
+    if dt_sec <= 0:
+        raise ValueError(f"dt must be positive, got {dt_sec}")
+    c = coefficients
+    text = f"""
+.name {name}
+    ; ---- second-order low-pass (direct form II transposed) ----
+    ; y = b0*x + z1
+    load {SLOT_INPUT}
+    push {c.b0!r}
+    mul
+    load {SLOT_FILTER_Z1}
+    add
+    store {SLOT_FILTERED}
+    ; z1' = b1*x - a1*y + z2
+    load {SLOT_INPUT}
+    push {c.b1!r}
+    mul
+    load {SLOT_FILTERED}
+    push {c.a1!r}
+    mul
+    sub
+    load {SLOT_FILTER_Z2}
+    add
+    store {SLOT_FILTER_Z1}
+    ; z2' = b2*x - a2*y
+    load {SLOT_INPUT}
+    push {c.b2!r}
+    mul
+    load {SLOT_FILTERED}
+    push {c.a2!r}
+    mul
+    sub
+    store {SLOT_FILTER_Z2}
+    ; ---- PID on filtered error ----
+    ; e = setpoint - y
+    load {SLOT_SETPOINT}
+    load {SLOT_FILTERED}
+    sub
+    store {SLOT_SCRATCH}
+    ; integral += e*dt, clamped
+    load {SLOT_INTEGRAL}
+    load {SLOT_SCRATCH}
+    push {dt_sec!r}
+    mul
+    add
+    push {integral_max!r}
+    min
+    push {integral_min!r}
+    max
+    store {SLOT_INTEGRAL}
+    ; u = kd*(e - prev)/dt + kp*e + ki*integral
+    load {SLOT_SCRATCH}
+    load {SLOT_PREV_ERROR}
+    sub
+    push {dt_sec!r}
+    div
+    push {kd!r}
+    mul
+    load {SLOT_SCRATCH}
+    push {kp!r}
+    mul
+    add
+    load {SLOT_INTEGRAL}
+    push {ki!r}
+    mul
+    add
+    ; clamp and emit
+    push {out_max!r}
+    min
+    push {out_min!r}
+    max
+    store {SLOT_OUTPUT}
+    ; prev = e
+    load {SLOT_SCRATCH}
+    store {SLOT_PREV_ERROR}
+    halt
+"""
+    return Assembler().assemble(text, name=name)
+
+
+def compile_passthrough(name: str, gain: float = 1.0,
+                        offset: float = 0.0) -> Program:
+    """A sensor/actuator task body: out = gain*in + offset.
+
+    Used by sensor tasks (scale a raw reading into engineering units) and
+    actuator tasks (apply the received command).
+    """
+    text = f"""
+.name {name}
+    load {SLOT_INPUT}
+    push {gain!r}
+    mul
+    push {offset!r}
+    add
+    store {SLOT_OUTPUT}
+    halt
+"""
+    return Assembler().assemble(text, name=name)

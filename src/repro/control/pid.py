@@ -1,0 +1,58 @@
+"""Positional PID regulator with anti-windup."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class PidGains:
+    """Proportional / integral / derivative gains."""
+
+    kp: float
+    ki: float = 0.0
+    kd: float = 0.0
+
+
+class PidController:
+    """u = kp*e + ki*integral(e) + kd*de/dt, clamped.
+
+    Integral term is clamped (anti-windup) and the output is saturated to
+    ``[out_min, out_max]``.  ``dt_sec`` is the fixed control period.
+    """
+
+    def __init__(self, gains: PidGains, dt_sec: float,
+                 out_min: float = 0.0, out_max: float = 100.0,
+                 integral_min: float = -1000.0,
+                 integral_max: float = 1000.0) -> None:
+        if dt_sec <= 0:
+            raise ValueError(f"dt must be positive, got {dt_sec}")
+        if out_min >= out_max:
+            raise ValueError("out_min must be below out_max")
+        self.gains = gains
+        self.dt_sec = dt_sec
+        self.out_min = out_min
+        self.out_max = out_max
+        self.integral_min = integral_min
+        self.integral_max = integral_max
+        self.integral = 0.0
+        self.prev_error: float | None = None
+
+    def step(self, error: float) -> float:
+        """One control period; returns the clamped actuation output."""
+        self.integral += error * self.dt_sec
+        self.integral = min(self.integral_max,
+                            max(self.integral_min, self.integral))
+        if self.prev_error is None:
+            derivative = 0.0
+        else:
+            derivative = (error - self.prev_error) / self.dt_sec
+        self.prev_error = error
+        output = (self.gains.kp * error
+                  + self.gains.ki * self.integral
+                  + self.gains.kd * derivative)
+        return min(self.out_max, max(self.out_min, output))
+
+    def reset(self) -> None:
+        self.integral = 0.0
+        self.prev_error = None

@@ -1,0 +1,58 @@
+"""The Embedded Virtual Machine -- the paper's contribution.
+
+An EVM is a *distributed* runtime: one instance runs on every node as a
+privileged nano-RK task, and together the instances maintain Virtual
+Components -- logical sensor/controller/actuator groups whose control law,
+timeliness and fault-tolerance invariants survive changes in the physical
+network.
+
+Package layout:
+
+- :mod:`~repro.evm.bytecode` / :mod:`~repro.evm.interpreter` -- the
+  FORTH-like, runtime-extensible instruction set and its stack interpreter;
+- :mod:`~repro.evm.capsule` -- versioned code capsules and dissemination;
+- :mod:`~repro.evm.attestation` -- software attestation of received code;
+- :mod:`~repro.evm.tasks` -- logical tasks (node-independent control work);
+- :mod:`~repro.evm.virtual_component` -- VC membership and task tables;
+- :mod:`~repro.evm.object_transfer` -- the five transfer relationships;
+- :mod:`~repro.evm.health` -- output-plausibility fault detection;
+- :mod:`~repro.evm.failover` -- controller modes and head arbitration;
+- :mod:`~repro.evm.migration` -- the task migration protocol;
+- :mod:`~repro.evm.optimizer` -- BQP task-assignment optimization;
+- :mod:`~repro.evm.runtime` -- the per-node super-task tying it together.
+"""
+
+from repro.evm.attestation import attest_digest, verify_attestation
+from repro.evm.bytecode import Assembler, Instruction, Opcode, Program
+from repro.evm.capsule import Capsule, CapsuleStore
+from repro.evm.failover import ControllerMode
+from repro.evm.interpreter import Interpreter, VmError, VmState
+from repro.evm.optimizer import (
+    AssignmentProblem,
+    bqp_assign,
+    greedy_assign,
+)
+from repro.evm.runtime import EvmRuntime
+from repro.evm.tasks import LogicalTask
+from repro.evm.virtual_component import VirtualComponent
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "Program",
+    "Assembler",
+    "Interpreter",
+    "VmState",
+    "VmError",
+    "Capsule",
+    "CapsuleStore",
+    "attest_digest",
+    "verify_attestation",
+    "LogicalTask",
+    "VirtualComponent",
+    "ControllerMode",
+    "AssignmentProblem",
+    "bqp_assign",
+    "greedy_assign",
+    "EvmRuntime",
+]

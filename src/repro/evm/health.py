@@ -1,0 +1,127 @@
+"""Fault detection: output plausibility and heartbeat monitoring.
+
+The paper's failure model for the case study: the primary controller keeps
+running but produces *wrong outputs* (the valve wedged at 75 % instead of
+11.48 %).  Backups therefore observe the primary's actuation outputs -- not
+just its liveness -- and confirm a fault only after a *series* of implausible
+outputs (single glitches are routine on wireless links).
+
+Two monitors:
+
+- :class:`OutputPlausibilityMonitor` -- range and rate-of-change checks with
+  a consecutive-anomaly confirmation threshold;
+- :class:`HeartbeatMonitor` -- crash/silence detection via expected-message
+  deadlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.clock import SEC
+
+
+@dataclass
+class Anomaly:
+    """One implausible observation."""
+
+    time: int
+    value: float
+    reason: str
+
+
+class OutputPlausibilityMonitor:
+    """Confirms a fault after ``threshold`` consecutive implausible outputs.
+
+    ``observe`` returns True exactly once, at the moment of confirmation;
+    further observations keep returning False until :meth:`reset`.
+    """
+
+    def __init__(self, plausible_min: float = float("-inf"),
+                 plausible_max: float = float("inf"),
+                 max_rate_per_sec: float = float("inf"),
+                 max_deviation: float = float("inf"),
+                 threshold: int = 3) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.plausible_min = plausible_min
+        self.plausible_max = plausible_max
+        self.max_rate_per_sec = max_rate_per_sec
+        self.max_deviation = max_deviation
+        self.threshold = threshold
+        self.consecutive = 0
+        self.confirmed = False
+        self.anomalies: list[Anomaly] = []
+        self._last_time: int | None = None
+        self._last_value: float | None = None
+
+    def observe(self, time: int, value: float,
+                expected: float | None = None) -> bool:
+        """Feed one output sample.  True iff this sample confirms a fault.
+
+        ``expected`` is the monitor's own shadow computation of the same
+        output (backups run the control law too); a deviation beyond
+        ``max_deviation`` is anomalous even when the raw value is in range --
+        this is how the case study's wedged-at-75% valve is caught.
+        """
+        reason = self._classify(time, value, expected)
+        self._last_time = time
+        self._last_value = value
+        if reason is None:
+            self.consecutive = 0
+            return False
+        self.anomalies.append(Anomaly(time=time, value=value, reason=reason))
+        self.consecutive += 1
+        if self.consecutive >= self.threshold and not self.confirmed:
+            self.confirmed = True
+            return True
+        return False
+
+    def _classify(self, time: int, value: float,
+                  expected: float | None) -> str | None:
+        if value < self.plausible_min:
+            return f"below range ({value} < {self.plausible_min})"
+        if value > self.plausible_max:
+            return f"above range ({value} > {self.plausible_max})"
+        if (expected is not None
+                and abs(value - expected) > self.max_deviation):
+            return (f"deviates from shadow output "
+                    f"(|{value:.3f} - {expected:.3f}| > "
+                    f"{self.max_deviation})")
+        if (self._last_time is not None and self._last_value is not None
+                and time > self._last_time):
+            rate = abs(value - self._last_value) / (
+                (time - self._last_time) / SEC)
+            if rate > self.max_rate_per_sec:
+                return (f"rate {rate:.2f}/s exceeds "
+                        f"{self.max_rate_per_sec}/s")
+        return None
+
+    def reset(self) -> None:
+        self.consecutive = 0
+        self.confirmed = False
+        self._last_time = None
+        self._last_value = None
+
+
+class HeartbeatMonitor:
+    """Silence detection: a fault is suspected after ``timeout`` without a beat."""
+
+    def __init__(self, timeout_ticks: int) -> None:
+        if timeout_ticks <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout_ticks}")
+        self.timeout_ticks = timeout_ticks
+        self.last_beat: int | None = None
+        self.missed_checks = 0
+
+    def beat(self, time: int) -> None:
+        self.last_beat = time
+
+    def is_silent(self, now: int) -> bool:
+        """Has the subject been quiet longer than the timeout?"""
+        if self.last_beat is None:
+            return False  # never heard from; give it until the first beat
+        silent = now - self.last_beat > self.timeout_ticks
+        if silent:
+            self.missed_checks += 1
+        return silent

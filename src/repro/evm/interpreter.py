@@ -1,0 +1,357 @@
+"""The EVM stack interpreter.
+
+Executes :class:`~repro.evm.bytecode.Program` routines against a task's
+migratable memory.  The interpreter itself is stateless between runs: all
+mutable state lives in the :class:`VmState`, which control tasks keep inside
+their TCBs -- so migrating a TCB genuinely transplants a computation.
+
+Extensibility (the paper's departure from Mate): new *words* can be
+registered at runtime and invoked by ``WORD`` instructions, and *host hooks*
+bind ``HOST``/``IN``/``OUT`` to kernel, sensor and network operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.evm.bytecode import Opcode, Program
+
+CYCLES_PER_INSTRUCTION = 80
+"""Calibration: interpreted instructions cost ~80 AVR cycles each (Mate
+reports ~1:33 vs native; we include dispatch overhead)."""
+
+
+class VmError(RuntimeError):
+    """Raised for stack violations, bad jumps, missing hooks, step overrun."""
+
+
+@dataclass
+class VmState:
+    """The complete mutable interpreter state (snapshot-able)."""
+
+    stack: list[float] = field(default_factory=list)
+    rstack: list[tuple[str, int]] = field(default_factory=list)
+    pc: int = 0
+    routine: str = ""
+    steps: int = 0
+    halted: bool = False
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "stack": list(self.stack),
+            "rstack": list(self.rstack),
+            "pc": self.pc,
+            "routine": self.routine,
+            "steps": self.steps,
+            "halted": self.halted,
+        }
+
+    @classmethod
+    def restore(cls, data: dict[str, Any]) -> "VmState":
+        state = cls()
+        state.stack = list(data["stack"])
+        state.rstack = [tuple(frame) for frame in data["rstack"]]
+        state.pc = data["pc"]
+        state.routine = data["routine"]
+        state.steps = data["steps"]
+        state.halted = data["halted"]
+        return state
+
+
+class Interpreter:
+    """Executes programs; owns the word and host-hook registries."""
+
+    def __init__(self, max_stack: int = 64, max_steps: int = 100_000,
+                 memory_slots: int = 64) -> None:
+        self.max_stack = max_stack
+        self.max_steps = max_steps
+        self.memory_slots = memory_slots
+        self._words: dict[str, Program] = {}
+        self._hosts: dict[str, Callable[["ExecutionContext"], None]] = {}
+        self._channels_in: dict[str, Callable[[], float]] = {}
+        self._channels_out: dict[str, Callable[[float], None]] = {}
+        self.total_steps = 0
+
+    # ------------------------------------------------------------------
+    # Runtime extensibility
+    # ------------------------------------------------------------------
+    def register_word(self, program: Program) -> None:
+        """Install a user-defined word (new instruction) at runtime."""
+        self._words[program.name] = program
+
+    def has_word(self, name: str) -> bool:
+        return name in self._words
+
+    def register_host(self, name: str,
+                      fn: Callable[["ExecutionContext"], None]) -> None:
+        """Bind a ``HOST`` operation to a kernel/EVM function."""
+        self._hosts[name] = fn
+
+    def bind_input(self, channel: str, fn: Callable[[], float]) -> None:
+        """Bind an ``IN`` channel (sensor read, received value, ...)."""
+        self._channels_in[channel] = fn
+
+    def bind_output(self, channel: str, fn: Callable[[float], None]) -> None:
+        """Bind an ``OUT`` channel (actuation, transmit, ...)."""
+        self._channels_out[channel] = fn
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, program: Program, memory: list[float],
+                state: VmState | None = None,
+                max_steps: int | None = None,
+                pause_on_budget: bool = False) -> VmState:
+        """Run ``program`` to HALT (or step bound) against ``memory``.
+
+        ``memory`` is the task's data segment, mutated in place by
+        LOAD/STORE.  Pass a prior non-halted ``state`` to resume a paused
+        computation.  With ``pause_on_budget=True`` an exhausted step
+        budget *pauses* instead of raising: the returned state has
+        ``halted=False`` and can be snapshot, migrated, restored and
+        resumed elsewhere -- how mid-computation task migration carries
+        "register settings" across nodes.  Returns the final state.
+        """
+        context = ExecutionContext(self, program, memory)
+        if state is None:
+            state = VmState(routine=program.name)
+        context.state = state
+        budget = max_steps if max_steps is not None else self.max_steps
+        self._run(context, state.steps + budget, pause_on_budget)
+        return state
+
+    def estimated_cycles(self, state: VmState) -> int:
+        """MCU cycles the run consumed (for WCET budgeting)."""
+        return state.steps * CYCLES_PER_INSTRUCTION
+
+    def _run(self, context: "ExecutionContext", budget: int,
+             pause_on_budget: bool = False) -> None:
+        state = context.state
+        while not state.halted:
+            if state.steps >= budget:
+                if pause_on_budget:
+                    return
+                raise VmError(
+                    f"step budget {budget} exhausted in {state.routine!r} "
+                    f"(pc={state.pc})")
+            program = context.current_program()
+            if state.pc >= len(program.instructions):
+                # Falling off the end returns from a word, halts at top level.
+                if state.rstack:
+                    state.routine, state.pc = state.rstack.pop()
+                    continue
+                state.halted = True
+                break
+            instruction = program.instructions[state.pc]
+            state.pc += 1
+            state.steps += 1
+            self.total_steps += 1
+            self._dispatch(context, instruction)
+
+    def _dispatch(self, context: "ExecutionContext", ins) -> None:
+        state = context.state
+        op = ins.opcode
+        push = context.push
+        pop = context.pop
+        if op is Opcode.HALT:
+            state.halted = True
+        elif op is Opcode.NOP:
+            pass
+        elif op is Opcode.PUSH:
+            push(float(ins.arg))
+        elif op is Opcode.DUP:
+            value = pop()
+            push(value)
+            push(value)
+        elif op is Opcode.DROP:
+            pop()
+        elif op is Opcode.SWAP:
+            b, a = pop(), pop()
+            push(b)
+            push(a)
+        elif op is Opcode.OVER:
+            b, a = pop(), pop()
+            push(a)
+            push(b)
+            push(a)
+        elif op is Opcode.ROT:
+            c, b, a = pop(), pop(), pop()
+            push(b)
+            push(c)
+            push(a)
+        elif op is Opcode.ADD:
+            b, a = pop(), pop()
+            push(a + b)
+        elif op is Opcode.SUB:
+            b, a = pop(), pop()
+            push(a - b)
+        elif op is Opcode.MUL:
+            b, a = pop(), pop()
+            push(a * b)
+        elif op is Opcode.DIV:
+            b, a = pop(), pop()
+            if b == 0.0:
+                raise VmError(f"division by zero in {state.routine!r}")
+            push(a / b)
+        elif op is Opcode.NEG:
+            push(-pop())
+        elif op is Opcode.ABS:
+            push(abs(pop()))
+        elif op is Opcode.MIN:
+            b, a = pop(), pop()
+            push(min(a, b))
+        elif op is Opcode.MAX:
+            b, a = pop(), pop()
+            push(max(a, b))
+        elif op is Opcode.LT:
+            b, a = pop(), pop()
+            push(1.0 if a < b else 0.0)
+        elif op is Opcode.GT:
+            b, a = pop(), pop()
+            push(1.0 if a > b else 0.0)
+        elif op is Opcode.LE:
+            b, a = pop(), pop()
+            push(1.0 if a <= b else 0.0)
+        elif op is Opcode.GE:
+            b, a = pop(), pop()
+            push(1.0 if a >= b else 0.0)
+        elif op is Opcode.EQ:
+            b, a = pop(), pop()
+            push(1.0 if a == b else 0.0)
+        elif op is Opcode.NE:
+            b, a = pop(), pop()
+            push(1.0 if a != b else 0.0)
+        elif op is Opcode.AND:
+            b, a = pop(), pop()
+            push(1.0 if (a != 0.0 and b != 0.0) else 0.0)
+        elif op is Opcode.OR:
+            b, a = pop(), pop()
+            push(1.0 if (a != 0.0 or b != 0.0) else 0.0)
+        elif op is Opcode.NOT:
+            push(1.0 if pop() == 0.0 else 0.0)
+        elif op is Opcode.JMP:
+            context.jump(ins.arg)
+        elif op is Opcode.JZ:
+            if pop() == 0.0:
+                context.jump(ins.arg)
+        elif op is Opcode.CALL:
+            state.rstack.append((state.routine, state.pc))
+            context.jump(ins.arg)
+        elif op is Opcode.RET:
+            if not state.rstack:
+                state.halted = True
+            else:
+                state.routine, state.pc = state.rstack.pop()
+        elif op is Opcode.LOAD:
+            push(context.load(ins.arg))
+        elif op is Opcode.STORE:
+            context.store(ins.arg, pop())
+        elif op is Opcode.IN:
+            push(context.read_channel(ins.arg))
+        elif op is Opcode.OUT:
+            context.write_channel(ins.arg, pop())
+        elif op is Opcode.HOST:
+            context.call_host(ins.arg)
+        elif op is Opcode.WORD:
+            context.call_word(ins.arg)
+        else:  # pragma: no cover - exhaustive over Opcode
+            raise VmError(f"unimplemented opcode {op!r}")
+
+
+class ExecutionContext:
+    """Per-run binding of interpreter, program, task memory and VM state."""
+
+    def __init__(self, interpreter: Interpreter, program: Program,
+                 memory: list[float]) -> None:
+        self.interpreter = interpreter
+        self.root_program = program
+        self.memory = memory
+        self.state: VmState = VmState(routine=program.name)
+        self._programs: dict[str, Program] = {program.name: program}
+
+    def current_program(self) -> Program:
+        name = self.state.routine
+        if name in self._programs:
+            return self._programs[name]
+        word = self.interpreter._words.get(name)
+        if word is None:
+            raise VmError(f"unknown routine {name!r}")
+        self._programs[name] = word
+        return word
+
+    # ------------------------------------------------------------------
+    # Stack
+    # ------------------------------------------------------------------
+    def push(self, value: float) -> None:
+        if len(self.state.stack) >= self.interpreter.max_stack:
+            raise VmError(
+                f"stack overflow in {self.state.routine!r} "
+                f"(depth {self.interpreter.max_stack})")
+        self.state.stack.append(float(value))
+
+    def pop(self) -> float:
+        if not self.state.stack:
+            raise VmError(f"stack underflow in {self.state.routine!r}")
+        return self.state.stack.pop()
+
+    # ------------------------------------------------------------------
+    # Memory / channels / hosts / words
+    # ------------------------------------------------------------------
+    def load(self, slot: int) -> float:
+        if not 0 <= slot < len(self.memory):
+            raise VmError(f"LOAD slot {slot} out of range")
+        return self.memory[slot]
+
+    def store(self, slot: int, value: float) -> None:
+        if not 0 <= slot < len(self.memory):
+            raise VmError(f"STORE slot {slot} out of range")
+        self.memory[slot] = value
+
+    def _channel_name(self, index: int) -> str:
+        channels = self.current_program().channels or self.root_program.channels
+        if not 0 <= index < len(channels):
+            raise VmError(f"channel index {index} out of range")
+        return channels[index]
+
+    def read_channel(self, index: int) -> float:
+        name = self._channel_name(index)
+        fn = self.interpreter._channels_in.get(name)
+        if fn is None:
+            raise VmError(f"no input bound for channel {name!r}")
+        return float(fn())
+
+    def write_channel(self, index: int, value: float) -> None:
+        name = self._channel_name(index)
+        fn = self.interpreter._channels_out.get(name)
+        if fn is None:
+            raise VmError(f"no output bound for channel {name!r}")
+        fn(value)
+
+    def call_host(self, index: int) -> None:
+        hosts = self.current_program().host_names or self.root_program.host_names
+        if not 0 <= index < len(hosts):
+            raise VmError(f"host index {index} out of range")
+        name = hosts[index]
+        fn = self.interpreter._hosts.get(name)
+        if fn is None:
+            raise VmError(f"no host hook registered for {name!r}")
+        fn(self)
+
+    def call_word(self, index: int) -> None:
+        words = self.current_program().word_names or self.root_program.word_names
+        if not 0 <= index < len(words):
+            raise VmError(f"word index {index} out of range")
+        name = words[index]
+        if name not in self.interpreter._words:
+            raise VmError(f"word {name!r} not installed")
+        self.state.rstack.append((self.state.routine, self.state.pc))
+        self.state.routine = name
+        self.state.pc = 0
+
+    def jump(self, target: int) -> None:
+        program = self.current_program()
+        if not 0 <= target <= len(program.instructions):
+            raise VmError(
+                f"jump target {target} out of range in {self.state.routine!r}")
+        self.state.pc = target

@@ -1,0 +1,439 @@
+"""Task migration: codec + transfer protocol.
+
+Migration moves a task's full image -- "the task control block, stack, data
+and timing/precedence-related metadata" -- from one node to another:
+
+1. the source sends ``MIG_REQUEST`` (spec summary, capabilities, image size);
+2. the destination runs a capability check and schedulability admission test,
+   answering ``MIG_ACCEPT`` or ``MIG_REJECT``;
+3. the source streams the encoded image in MTU-sized fragments;
+4. the destination reassembles, NACKs holes for selective retransmission,
+   verifies **attestation** over the assembled bytes, installs the task, and
+   answers ``MIG_DONE``;
+5. the source deactivates its copy.
+
+The image codec is explicit (no pickling): a small tagged binary format for
+the primitives a TCB image contains, with :class:`~repro.rtos.task.TaskSpec`
+as a dedicated tag.  Round-tripping is property-tested.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.evm.attestation import attest_digest, verify_attestation
+from repro.rtos.task import TaskSpec
+from repro.sim.clock import SEC
+
+# ----------------------------------------------------------------------
+# Image codec
+# ----------------------------------------------------------------------
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"f"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"F"
+_TAG_STR = b"S"
+_TAG_BYTES = b"B"
+_TAG_LIST = b"L"
+_TAG_DICT = b"D"
+_TAG_SPEC = b"P"
+
+
+class CodecError(ValueError):
+    """Raised on unencodable values or malformed blobs."""
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode a TCB-image value tree to bytes."""
+    out = bytearray()
+    _encode_into(out, value)
+    return bytes(out)
+
+
+def _encode_into(out: bytearray, value: Any) -> None:
+    if value is None:
+        out += _TAG_NONE
+    elif value is True:
+        out += _TAG_TRUE
+    elif value is False:
+        out += _TAG_FALSE
+    elif isinstance(value, int):
+        out += _TAG_INT
+        out += struct.pack(">q", value)
+    elif isinstance(value, float):
+        out += _TAG_FLOAT
+        out += struct.pack(">d", value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += _TAG_STR
+        out += struct.pack(">I", len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray)):
+        out += _TAG_BYTES
+        out += struct.pack(">I", len(value))
+        out += bytes(value)
+    elif isinstance(value, (list, tuple)):
+        out += _TAG_LIST
+        out += struct.pack(">I", len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif isinstance(value, dict):
+        out += _TAG_DICT
+        out += struct.pack(">I", len(value))
+        for key, item in value.items():
+            _encode_into(out, key)
+            _encode_into(out, item)
+    elif isinstance(value, TaskSpec):
+        out += _TAG_SPEC
+        _encode_into(out, {
+            "name": value.name,
+            "wcet_ticks": value.wcet_ticks,
+            "period_ticks": value.period_ticks,
+            "deadline_ticks": value.deadline_ticks,
+            "priority": value.priority,
+            "offset_ticks": value.offset_ticks,
+            "stack_bytes": value.stack_bytes,
+        })
+    else:
+        raise CodecError(
+            f"cannot encode {type(value).__name__} in a task image")
+
+
+def decode_value(blob: bytes) -> Any:
+    """Decode bytes produced by :func:`encode_value`."""
+    value, offset = _decode_from(memoryview(blob), 0)
+    if offset != len(blob):
+        raise CodecError(f"{len(blob) - offset} trailing bytes after value")
+    return value
+
+
+def _decode_from(view: memoryview, offset: int) -> tuple[Any, int]:
+    if offset >= len(view):
+        raise CodecError("truncated blob")
+    tag = bytes(view[offset:offset + 1])
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        (value,) = struct.unpack_from(">q", view, offset)
+        return value, offset + 8
+    if tag == _TAG_FLOAT:
+        (value,) = struct.unpack_from(">d", view, offset)
+        return value, offset + 8
+    if tag == _TAG_STR:
+        (length,) = struct.unpack_from(">I", view, offset)
+        offset += 4
+        raw = bytes(view[offset:offset + length])
+        if len(raw) != length:
+            raise CodecError("truncated string")
+        return raw.decode("utf-8"), offset + length
+    if tag == _TAG_BYTES:
+        (length,) = struct.unpack_from(">I", view, offset)
+        offset += 4
+        raw = bytes(view[offset:offset + length])
+        if len(raw) != length:
+            raise CodecError("truncated bytes")
+        return raw, offset + length
+    if tag == _TAG_LIST:
+        (count,) = struct.unpack_from(">I", view, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode_from(view, offset)
+            items.append(item)
+        return items, offset
+    if tag == _TAG_DICT:
+        (count,) = struct.unpack_from(">I", view, offset)
+        offset += 4
+        result = {}
+        for _ in range(count):
+            key, offset = _decode_from(view, offset)
+            value, offset = _decode_from(view, offset)
+            result[key] = value
+        return result, offset
+    if tag == _TAG_SPEC:
+        fields, offset = _decode_from(view, offset)
+        return TaskSpec(**fields), offset
+    raise CodecError(f"unknown tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Transfer protocol
+# ----------------------------------------------------------------------
+FRAGMENT_BYTES = 64
+"""Image bytes per fragment (fits an RT-Link slot with headers)."""
+
+_xfer_counter = itertools.count(1)
+
+
+@dataclass
+class MigrationOutcome:
+    """Terminal report for one migration attempt."""
+
+    xfer_id: int
+    task_name: str
+    src: str
+    dst: str
+    ok: bool
+    reason: str = ""
+    started_at: int = 0
+    finished_at: int = 0
+    bytes_sent: int = 0
+    fragments: int = 0
+
+    @property
+    def duration_ticks(self) -> int:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class _OutgoingTransfer:
+    xfer_id: int
+    task_name: str
+    dst: str
+    blob: bytes
+    digest: bytes
+    started_at: int
+    on_done: Callable[[MigrationOutcome], None] | None
+    fragments_sent: int = 0
+    accepted: bool = False
+
+
+@dataclass
+class _IncomingTransfer:
+    xfer_id: int
+    task_name: str
+    src: str
+    total_fragments: int
+    image_size: int
+    digest: bytes
+    started_at: int
+    chunks: dict[int, bytes] = field(default_factory=dict)
+    nacks_sent: int = 0
+
+
+class MigrationManager:
+    """Both halves of the migration protocol for one node.
+
+    The hosting runtime supplies ``send(dst, kind, payload, size_bytes)``
+    plus the local capability/admission/install callbacks; this class owns
+    the transfer state machines.
+    """
+
+    def __init__(
+        self,
+        engine,
+        node_id: str,
+        send: Callable[[str, str, Any, int], bool],
+        can_accept: Callable[[str, TaskSpec, frozenset], tuple[bool, str]],
+        install: Callable[[dict], tuple[bool, str]],
+        trace=None,
+        timeout_ticks: int = 30 * SEC,
+    ) -> None:
+        self.engine = engine
+        self.node_id = node_id
+        self.send = send
+        self.can_accept = can_accept
+        self.install = install
+        self.trace = trace
+        self.timeout_ticks = timeout_ticks
+        self.outgoing: dict[int, _OutgoingTransfer] = {}
+        self.incoming: dict[int, _IncomingTransfer] = {}
+        self.completed: list[MigrationOutcome] = []
+
+    # ------------------------------------------------------------------
+    # Source side
+    # ------------------------------------------------------------------
+    def initiate(self, image: dict, dst: str,
+                 required_capabilities: frozenset = frozenset(),
+                 on_done: Callable[[MigrationOutcome], None] | None = None,
+                 ) -> int:
+        """Start migrating ``image`` (a TCB snapshot) to ``dst``."""
+        xfer_id = next(_xfer_counter)
+        blob = encode_value(image)
+        digest = attest_digest(blob, _nonce(xfer_id))
+        spec: TaskSpec = image["spec"]
+        transfer = _OutgoingTransfer(
+            xfer_id=xfer_id, task_name=spec.name, dst=dst, blob=blob,
+            digest=digest, started_at=self.engine.now, on_done=on_done)
+        self.outgoing[xfer_id] = transfer
+        self._record("evm.mig.initiate", task=spec.name, dst=dst,
+                     bytes=len(blob), xfer=xfer_id)
+        self.send(dst, "evm.mig.request", {
+            "xfer_id": xfer_id,
+            "spec": spec,
+            "capabilities": sorted(required_capabilities),
+            "image_size": len(blob),
+            "fragments": _fragment_count(len(blob)),
+            "digest": digest,
+        }, 48)
+        self.engine.schedule(self.timeout_ticks, self._check_timeout, xfer_id)
+        return xfer_id
+
+    def _check_timeout(self, xfer_id: int) -> None:
+        transfer = self.outgoing.get(xfer_id)
+        if transfer is None:
+            return
+        self._finish_outgoing(transfer, ok=False, reason="timeout")
+
+    def _finish_outgoing(self, transfer: _OutgoingTransfer, ok: bool,
+                         reason: str = "") -> None:
+        self.outgoing.pop(transfer.xfer_id, None)
+        outcome = MigrationOutcome(
+            xfer_id=transfer.xfer_id, task_name=transfer.task_name,
+            src=self.node_id, dst=transfer.dst, ok=ok, reason=reason,
+            started_at=transfer.started_at, finished_at=self.engine.now,
+            bytes_sent=len(transfer.blob),
+            fragments=transfer.fragments_sent)
+        self.completed.append(outcome)
+        self._record("evm.mig.finish", task=transfer.task_name, ok=ok,
+                     reason=reason, xfer=transfer.xfer_id)
+        if transfer.on_done is not None:
+            transfer.on_done(outcome)
+
+    # ------------------------------------------------------------------
+    # Message dispatch (both sides)
+    # ------------------------------------------------------------------
+    def handle_message(self, src: str, kind: str, payload: Any) -> bool:
+        """Route one ``evm.mig.*`` message.  Returns True if consumed."""
+        if kind == "evm.mig.request":
+            self._on_request(src, payload)
+        elif kind == "evm.mig.accept":
+            self._on_accept(payload)
+        elif kind == "evm.mig.reject":
+            self._on_reject(payload)
+        elif kind == "evm.mig.frag":
+            self._on_fragment(src, payload)
+        elif kind == "evm.mig.nack":
+            self._on_nack(payload)
+        elif kind == "evm.mig.done":
+            self._on_done(payload)
+        else:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Destination side
+    # ------------------------------------------------------------------
+    def _on_request(self, src: str, payload: dict) -> None:
+        spec: TaskSpec = payload["spec"]
+        xfer_id = payload["xfer_id"]
+        ok, reason = self.can_accept(
+            src, spec, frozenset(payload["capabilities"]))
+        self._record("evm.mig.request_rx", task=spec.name, src=src,
+                     accepted=ok, reason=reason)
+        if not ok:
+            self.send(src, "evm.mig.reject",
+                      {"xfer_id": xfer_id, "reason": reason}, 16)
+            return
+        self.incoming[xfer_id] = _IncomingTransfer(
+            xfer_id=xfer_id, task_name=spec.name, src=src,
+            total_fragments=payload["fragments"],
+            image_size=payload["image_size"], digest=payload["digest"],
+            started_at=self.engine.now)
+        self.send(src, "evm.mig.accept", {"xfer_id": xfer_id}, 8)
+
+    def _on_accept(self, payload: dict) -> None:
+        transfer = self.outgoing.get(payload["xfer_id"])
+        if transfer is None:
+            return
+        transfer.accepted = True
+        self._send_fragments(transfer, range(_fragment_count(
+            len(transfer.blob))))
+
+    def _on_reject(self, payload: dict) -> None:
+        transfer = self.outgoing.get(payload["xfer_id"])
+        if transfer is None:
+            return
+        self._finish_outgoing(transfer, ok=False,
+                              reason=payload.get("reason", "rejected"))
+
+    def _send_fragments(self, transfer: _OutgoingTransfer,
+                        indices) -> None:
+        total = _fragment_count(len(transfer.blob))
+        for index in indices:
+            chunk = transfer.blob[index * FRAGMENT_BYTES:
+                                  (index + 1) * FRAGMENT_BYTES]
+            transfer.fragments_sent += 1
+            self.send(transfer.dst, "evm.mig.frag", {
+                "xfer_id": transfer.xfer_id,
+                "index": index,
+                "total": total,
+                "chunk": chunk,
+            }, len(chunk) + 8)
+
+    def _on_fragment(self, src: str, payload: dict) -> None:
+        transfer = self.incoming.get(payload["xfer_id"])
+        if transfer is None:
+            return
+        transfer.chunks[payload["index"]] = payload["chunk"]
+        if payload["index"] == payload["total"] - 1:
+            self._try_complete(transfer)
+
+    def _try_complete(self, transfer: _IncomingTransfer) -> None:
+        missing = [i for i in range(transfer.total_fragments)
+                   if i not in transfer.chunks]
+        if missing:
+            transfer.nacks_sent += 1
+            self._record("evm.mig.nack", task=transfer.task_name,
+                         missing=len(missing))
+            self.send(transfer.src, "evm.mig.nack", {
+                "xfer_id": transfer.xfer_id,
+                "missing": missing,
+            }, 8 + 2 * len(missing))
+            return
+        blob = b"".join(transfer.chunks[i]
+                        for i in range(transfer.total_fragments))
+        self.incoming.pop(transfer.xfer_id, None)
+        if not verify_attestation(blob, _nonce(transfer.xfer_id),
+                                  transfer.digest):
+            self._record("evm.mig.attest_fail", task=transfer.task_name)
+            self.send(transfer.src, "evm.mig.done", {
+                "xfer_id": transfer.xfer_id, "ok": False,
+                "reason": "attestation failed"}, 16)
+            return
+        image = decode_value(blob)
+        ok, reason = self.install(image)
+        self._record("evm.mig.install", task=transfer.task_name, ok=ok,
+                     reason=reason)
+        self.send(transfer.src, "evm.mig.done", {
+            "xfer_id": transfer.xfer_id, "ok": ok, "reason": reason}, 16)
+
+    def _on_nack(self, payload: dict) -> None:
+        transfer = self.outgoing.get(payload["xfer_id"])
+        if transfer is None:
+            return
+        # Selective retransmission; resend the last fragment too so the
+        # receiver re-runs its completion check.
+        missing = list(payload["missing"])
+        total = _fragment_count(len(transfer.blob))
+        if total - 1 not in missing:
+            missing.append(total - 1)
+        self._send_fragments(transfer, missing)
+
+    def _on_done(self, payload: dict) -> None:
+        transfer = self.outgoing.get(payload["xfer_id"])
+        if transfer is None:
+            return
+        self._finish_outgoing(transfer, ok=payload["ok"],
+                              reason=payload.get("reason", ""))
+
+    def _record(self, category: str, **data: Any) -> None:
+        if self.trace is not None:
+            self.trace.record(self.engine.now, category, self.node_id, **data)
+
+
+def _fragment_count(blob_len: int) -> int:
+    return max(1, -(-blob_len // FRAGMENT_BYTES))
+
+
+def _nonce(xfer_id: int) -> bytes:
+    return struct.pack(">Q", xfer_id)

@@ -1,0 +1,149 @@
+"""Object transfer relationships within a Virtual Component.
+
+The paper defines five elementary transfer types governing how control, data
+and fault information move between the interconnected controllers of a VC:
+
+- **disjoint** -- no shared state; components may run concurrently;
+- **directional / bi-directional** -- master-slave, publish-subscribe,
+  producer-consumer data flow (the basic type for active controllers);
+- **temporal-conditional** -- the transfer is valid only under a timing
+  condition (freshness window, phase relationship);
+- **causal-conditional** -- the transfer is gated on a state predicate
+  (only after event X, only while mode M);
+- **health assessment** -- monitoring relationships: who observes whom,
+  who is primary/backup, and how to respond to faults.
+
+These are declarative objects; :mod:`repro.evm.runtime` interprets them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class TransferKind(enum.Enum):
+    DISJOINT = "disjoint"
+    DIRECTIONAL = "directional"
+    BIDIRECTIONAL = "bidirectional"
+    TEMPORAL = "temporal-conditional"
+    CAUSAL = "causal-conditional"
+    HEALTH = "health-assessment"
+
+
+class FaultResponse(enum.Enum):
+    """What a health-assessment monitor does on confirmed fault."""
+
+    TRIGGER_ALERT = "alert"          # notify the VC head only
+    TRIGGER_BACKUP = "backup"        # request promotion of a backup
+    HALT = "halt"                    # command the faulty node to halt
+    LOCAL_FAILSAFE = "failsafe"      # actuator falls back to a safe value
+
+
+@dataclass(frozen=True)
+class DisjointRelation:
+    """Explicit declaration that two tasks share nothing."""
+
+    task_a: str
+    task_b: str
+    kind: TransferKind = field(default=TransferKind.DISJOINT, init=False)
+
+
+@dataclass(frozen=True)
+class DirectionalTransfer:
+    """Producer task publishes ``keys`` of its data segment to a consumer.
+
+    The runtime ships the named memory slots after each producer job.
+    ``slots`` maps producer memory slot -> consumer memory slot.
+    """
+
+    producer: str
+    consumer: str
+    slots: tuple[tuple[int, int], ...]
+    kind: TransferKind = field(default=TransferKind.DIRECTIONAL, init=False)
+
+
+@dataclass(frozen=True)
+class BidirectionalTransfer:
+    """Symmetric exchange: each side publishes slots to the other."""
+
+    task_a: str
+    task_b: str
+    slots_a_to_b: tuple[tuple[int, int], ...]
+    slots_b_to_a: tuple[tuple[int, int], ...]
+    kind: TransferKind = field(default=TransferKind.BIDIRECTIONAL, init=False)
+
+
+@dataclass(frozen=True)
+class TemporalConditionalTransfer:
+    """Directional transfer valid only within a freshness window.
+
+    A sample older than ``max_age_ticks`` on arrival is discarded -- stale
+    sensor data must not drive actuation.
+    """
+
+    producer: str
+    consumer: str
+    slots: tuple[tuple[int, int], ...]
+    max_age_ticks: int
+    kind: TransferKind = field(default=TransferKind.TEMPORAL, init=False)
+
+
+@dataclass(frozen=True)
+class CausalConditionalTransfer:
+    """Directional transfer gated on a predicate over the producer's data.
+
+    ``guard_slot``/``guard_threshold``: ship only while
+    ``data[guard_slot] >= guard_threshold`` (e.g. "only in mode 2", with the
+    mode number kept in a memory slot).
+    """
+
+    producer: str
+    consumer: str
+    slots: tuple[tuple[int, int], ...]
+    guard_slot: int
+    guard_threshold: float
+    kind: TransferKind = field(default=TransferKind.CAUSAL, init=False)
+
+
+@dataclass(frozen=True)
+class HealthAssessment:
+    """Monitoring relationship: ``monitor`` watches ``subject``'s task.
+
+    ``plausible_min``/``plausible_max``/``max_rate_per_sec`` parameterize the
+    output plausibility check; ``threshold`` is the consecutive-anomaly count
+    that confirms a fault; ``response`` is the action taken.
+    """
+
+    monitor: str           # node id doing the watching
+    subject: str           # node id being watched
+    task: str              # logical task under observation
+    response: FaultResponse
+    plausible_min: float = float("-inf")
+    plausible_max: float = float("inf")
+    max_rate_per_sec: float = float("inf")
+    max_deviation: float = float("inf")
+    threshold: int = 3
+    heartbeat_timeout_ticks: int | None = None
+    kind: TransferKind = field(default=TransferKind.HEALTH, init=False)
+
+
+Transfer = (DisjointRelation | DirectionalTransfer | BidirectionalTransfer
+            | TemporalConditionalTransfer | CausalConditionalTransfer
+            | HealthAssessment)
+
+
+def directional_legs(transfer: Transfer) -> list[tuple[str, str, tuple[tuple[int, int], ...]]]:
+    """Flatten any data-bearing transfer into (producer, consumer, slots) legs."""
+    if isinstance(transfer, DirectionalTransfer):
+        return [(transfer.producer, transfer.consumer, transfer.slots)]
+    if isinstance(transfer, (TemporalConditionalTransfer,
+                             CausalConditionalTransfer)):
+        return [(transfer.producer, transfer.consumer, transfer.slots)]
+    if isinstance(transfer, BidirectionalTransfer):
+        return [
+            (transfer.task_a, transfer.task_b, transfer.slots_a_to_b),
+            (transfer.task_b, transfer.task_a, transfer.slots_b_to_a),
+        ]
+    return []

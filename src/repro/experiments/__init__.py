@@ -1,0 +1,27 @@
+"""Experiment harnesses.
+
+Scenario builders shared by the examples, the integration tests and the
+benchmarks.  Each maps to an entry of DESIGN.md's per-experiment index:
+
+- :mod:`~repro.experiments.hil` -- the six-node wireless HIL rig of Fig. 5
+  (gateway + sensor + two controllers + actuator + spare over RT-Link,
+  plant behind a ModBus gateway);
+- :mod:`~repro.experiments.fig6` -- the headline failover transient
+  (Fig. 6(b)) and the primary/backup configuration (Fig. 6(a));
+- :mod:`~repro.experiments.mac_comparison` -- RT-Link vs B-MAC vs S-MAC
+  lifetime/latency (the paper's section 2.1 claims);
+- :mod:`~repro.experiments.fig1` -- Virtual Component composition and
+  BQP/greedy assignment (Fig. 1);
+- :mod:`~repro.experiments.metrics` -- series and latency utilities.
+"""
+
+from repro.experiments.fig6 import Fig6Config, Fig6Result, run_fig6
+from repro.experiments.hil import HilConfig, HilRig
+
+__all__ = [
+    "HilConfig",
+    "HilRig",
+    "Fig6Config",
+    "Fig6Result",
+    "run_fig6",
+]

@@ -1,0 +1,153 @@
+"""The headline experiment: Fig. 6(b) -- failover of the LTS level loop.
+
+Timeline (matching the paper):
+
+- t < T1 = 300 s: Ctrl-A ACTIVE, Ctrl-B BACKUP; plant steady at 50 % level,
+  valve ~11.48 %;
+- t = T1: Ctrl-A fails -- it wedges the published valve output at 75 %;
+  the level collapses and the LTS/tower molar flows spike;
+- Ctrl-B's backup monitor confirms the implausible outputs (shadow
+  deviation) and informs the VC head; the head activates Ctrl-B at
+  T2 = 600 s (the paper stages a 300 s reconfiguration window, reproduced
+  here with an arbitration hold-off) and demotes Ctrl-A to Indicator;
+- t = T3 = T2 + 200 s: Ctrl-A is parked Dormant;
+- t > T2: Ctrl-B closes the valve and the level recovers slowly; flows
+  return to their pre-fault values.
+
+``run_fig6`` executes that scenario on the full wireless stack and returns
+the recorded series plus the event times extracted from the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.hil import (
+    CTRL_A,
+    CTRL_B,
+    HilConfig,
+    HilRig,
+    TASK_CTRL,
+)
+from repro.sim.clock import SEC
+
+
+@dataclass
+class Fig6Config:
+    """Scenario timing (defaults reproduce the paper's timeline)."""
+
+    t1_fault_sec: float = 300.0
+    t2_target_sec: float = 600.0
+    duration_sec: float = 1000.0
+    sample_period_sec: float = 1.0
+    fault_value_pct: float = 75.0
+    hil: HilConfig = field(default_factory=HilConfig)
+
+    def __post_init__(self) -> None:
+        # Stage the paper's T2 by holding arbitration until ~600 s: the
+        # backup detects within ~1 s of T1; the hold-off covers the rest.
+        if self.hil.arbitration_holdoff_ticks == 0:
+            detection_estimate = 2.0  # seconds after T1
+            holdoff = self.t2_target_sec - self.t1_fault_sec \
+                - detection_estimate
+            self.hil.arbitration_holdoff_ticks = int(
+                max(0.0, holdoff) * SEC)
+
+
+@dataclass
+class Fig6Result:
+    """Recorded series and extracted event times."""
+
+    times_sec: list[float] = field(default_factory=list)
+    lts_level_pct: list[float] = field(default_factory=list)
+    sep_liq_flow: list[float] = field(default_factory=list)
+    lts_liq_flow: list[float] = field(default_factory=list)
+    tower_feed_flow: list[float] = field(default_factory=list)
+    valve_pct: list[float] = field(default_factory=list)
+    active_controller: list[str] = field(default_factory=list)
+    detection_time_sec: float | None = None
+    failover_time_sec: float | None = None
+    dormant_time_sec: float | None = None
+    pre_fault_level: float = 0.0
+    min_level: float = 0.0
+    final_level: float = 0.0
+    pre_fault_tower_flow: float = 0.0
+    peak_tower_flow: float = 0.0
+    final_tower_flow: float = 0.0
+
+    def at_time(self, t_sec: float, series: list[float]) -> float:
+        """Series value at (nearest sample to) ``t_sec``."""
+        best_i = min(range(len(self.times_sec)),
+                     key=lambda i: abs(self.times_sec[i] - t_sec))
+        return series[best_i]
+
+    def summary(self) -> str:
+        lines = [
+            "Fig. 6(b) failover transient",
+            f"  pre-fault level      : {self.pre_fault_level:7.2f} %",
+            f"  minimum level        : {self.min_level:7.2f} %",
+            f"  final level (t_end)  : {self.final_level:7.2f} %",
+            f"  detection time       : {self.detection_time_sec} s",
+            f"  failover (T2)        : {self.failover_time_sec} s",
+            f"  dormant (T3)         : {self.dormant_time_sec} s",
+            f"  tower feed pre/peak/final: "
+            f"{self.pre_fault_tower_flow:.2f} / {self.peak_tower_flow:.2f}"
+            f" / {self.final_tower_flow:.2f} mol/s",
+        ]
+        return "\n".join(lines)
+
+
+def run_fig6(config: Fig6Config | None = None) -> Fig6Result:
+    """Run the scenario; returns recorded series and event times."""
+    config = config or Fig6Config()
+    rig = HilRig(config.hil)
+    result = Fig6Result()
+
+    def sample() -> None:
+        result.times_sec.append(rig.engine.now / SEC)
+        result.lts_level_pct.append(rig.read("lts_level_pct"))
+        result.sep_liq_flow.append(rig.read("sep_liq_flow"))
+        result.lts_liq_flow.append(rig.read("lts_liq_flow"))
+        result.tower_feed_flow.append(rig.read("tower_feed_flow"))
+        result.valve_pct.append(rig.read("lts_valve_pct"))
+        result.active_controller.append(rig.active_controller())
+        rig.engine.schedule(int(config.sample_period_sec * SEC), sample)
+
+    rig.engine.schedule(int(config.sample_period_sec * SEC), sample)
+    rig.engine.schedule(int(config.t1_fault_sec * SEC),
+                        rig.inject_controller_fault,
+                        config.fault_value_pct)
+    rig.run_for_seconds(config.duration_sec)
+
+    _extract_events(rig, result)
+    _extract_shape(config, result)
+    return result
+
+
+def _extract_events(rig: HilRig, result: Fig6Result) -> None:
+    def first_exact(category: str, source: str | None = None) -> float | None:
+        matches = [e for e in rig.trace.events(category, source=source)
+                   if e.category == category]
+        return matches[0].time / SEC if matches else None
+
+    result.detection_time_sec = first_exact("evm.fault_detected",
+                                            source=CTRL_B)
+    result.failover_time_sec = first_exact("evm.failover")
+    result.dormant_time_sec = first_exact("evm.dormant")
+
+
+def _extract_shape(config: Fig6Config, result: Fig6Result) -> None:
+    if not result.times_sec:
+        return
+    t1 = config.t1_fault_sec
+    pre_indices = [i for i, t in enumerate(result.times_sec) if t < t1 - 5]
+    fault_window = [i for i, t in enumerate(result.times_sec)
+                    if t1 <= t <= (result.failover_time_sec
+                                   or config.duration_sec)]
+    if pre_indices:
+        result.pre_fault_level = result.lts_level_pct[pre_indices[-1]]
+        result.pre_fault_tower_flow = result.tower_feed_flow[pre_indices[-1]]
+    result.min_level = min(result.lts_level_pct)
+    result.final_level = result.lts_level_pct[-1]
+    result.peak_tower_flow = max(result.tower_feed_flow)
+    result.final_tower_flow = result.tower_feed_flow[-1]

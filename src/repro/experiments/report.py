@@ -1,0 +1,78 @@
+"""Result export: figure series and sweep tables as CSV artifacts.
+
+Downstream users replot the reproduced figures from these files rather
+than scraping benchmark stdout.  Writers are plain-stdlib ``csv`` and take
+the result objects the experiment harnesses return.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.experiments.fig6 import Fig6Result
+from repro.experiments.mac_comparison import MacTrialResult
+
+
+def write_fig6_series(result: Fig6Result, path: str | Path) -> Path:
+    """The four Fig. 6(b) series + valve + active controller, one row per
+    sample."""
+    path = Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_sec", "lts_level_pct", "sep_liq_flow",
+                         "lts_liq_flow", "tower_feed_flow", "valve_pct",
+                         "active_controller"])
+        rows = zip(result.times_sec, result.lts_level_pct,
+                   result.sep_liq_flow, result.lts_liq_flow,
+                   result.tower_feed_flow, result.valve_pct,
+                   result.active_controller)
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def write_fig6_events(result: Fig6Result, path: str | Path) -> Path:
+    """The extracted T1/T2/T3 event times and shape scalars."""
+    path = Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["quantity", "value"])
+        writer.writerow(["detection_time_sec", result.detection_time_sec])
+        writer.writerow(["failover_time_sec", result.failover_time_sec])
+        writer.writerow(["dormant_time_sec", result.dormant_time_sec])
+        writer.writerow(["pre_fault_level", result.pre_fault_level])
+        writer.writerow(["min_level", result.min_level])
+        writer.writerow(["final_level", result.final_level])
+        writer.writerow(["pre_fault_tower_flow",
+                         result.pre_fault_tower_flow])
+        writer.writerow(["peak_tower_flow", result.peak_tower_flow])
+        writer.writerow(["final_tower_flow", result.final_tower_flow])
+    return path
+
+
+def write_mac_sweep(results: dict[str, list[MacTrialResult]],
+                    path: str | Path) -> Path:
+    """A lifetime/latency sweep table, one row per (protocol, point)."""
+    path = Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["protocol", "duty_target_pct", "event_period_sec",
+                         "lifetime_years", "avg_current_ma",
+                         "radio_duty_pct", "delivery_ratio",
+                         "mean_latency_ms", "collisions"])
+        for protocol, rows in sorted(results.items()):
+            for r in rows:
+                writer.writerow([
+                    r.protocol, r.duty_target_pct, r.event_period_sec,
+                    f"{r.lifetime_years:.4f}", f"{r.avg_current_ma:.5f}",
+                    f"{r.radio_duty_pct:.3f}", f"{r.delivery_ratio:.4f}",
+                    f"{r.mean_latency_ms:.2f}", r.collisions,
+                ])
+    return path
+
+
+def read_csv(path: str | Path) -> list[dict[str, str]]:
+    """Load a written artifact back (round-trip checks, notebooks)."""
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))

@@ -1,0 +1,54 @@
+"""FireFly platform model.
+
+The paper's testbed is the FireFly sensor node: an Atmel ATmega1281
+microcontroller (8 KB RAM, 128 KB ROM) with a Chipcon CC2420 IEEE 802.15.4
+radio and an out-of-band AM receiver used for hardware time synchronization
+(sub-150 us jitter).  We model the pieces the EVM stack actually consumes:
+
+- :class:`~repro.hardware.mcu.Mcu` -- cycle/memory budgets and CPU power states
+- :class:`~repro.hardware.radio.Radio` -- CC2420 timing and power states
+- :class:`~repro.hardware.battery.Battery` -- coulomb-counting energy store
+  (optionally solar-assisted) and lifetime projection
+- :mod:`~repro.hardware.sensors` -- the FireFly expansion-board sensor suite
+- :class:`~repro.hardware.timesync.AmTimeSync` -- the AM-broadcast global
+  time reference with per-node reception jitter and clock drift
+- :class:`~repro.hardware.node.FireFlyNode` -- the composed platform
+"""
+
+from repro.hardware.battery import Battery, BatterySpec
+from repro.hardware.mcu import Mcu, McuSpec, MemoryExhausted
+from repro.hardware.node import FireFlyNode
+from repro.hardware.radio import Radio, RadioSpec, RadioState
+from repro.hardware.sensors import (
+    Accelerometer,
+    AudioSensor,
+    LightSensor,
+    PirMotionSensor,
+    Sensor,
+    TemperatureSensor,
+    VoltageSensor,
+    standard_sensor_suite,
+)
+from repro.hardware.timesync import AmTimeSync, NodeClock
+
+__all__ = [
+    "Battery",
+    "BatterySpec",
+    "Mcu",
+    "McuSpec",
+    "MemoryExhausted",
+    "FireFlyNode",
+    "Radio",
+    "RadioSpec",
+    "RadioState",
+    "Sensor",
+    "LightSensor",
+    "TemperatureSensor",
+    "AudioSensor",
+    "PirMotionSensor",
+    "Accelerometer",
+    "VoltageSensor",
+    "standard_sensor_suite",
+    "AmTimeSync",
+    "NodeClock",
+]

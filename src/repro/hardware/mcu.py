@@ -1,0 +1,118 @@
+"""ATmega1281 microcontroller model.
+
+The EVM cares about three things the MCU provides: a cycle budget (how long a
+block of work takes), finite RAM/ROM (task stacks, code capsules and the
+interpreter heap must fit), and CPU power states (energy accounting).  We
+model exactly those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.clock import SEC
+
+
+class MemoryExhausted(MemoryError):
+    """Raised when a RAM/ROM allocation does not fit the remaining budget."""
+
+
+@dataclass(frozen=True)
+class McuSpec:
+    """Datasheet constants for the microcontroller.
+
+    Defaults are the FireFly's ATmega1281 running at 7.3728 MHz on 3 V.
+    Currents are drawn from the ATmega1281 datasheet ballpark figures.
+    """
+
+    name: str = "ATmega1281"
+    clock_hz: int = 7_372_800
+    ram_bytes: int = 8 * 1024
+    rom_bytes: int = 128 * 1024
+    active_current_a: float = 6.0e-3
+    idle_current_a: float = 2.0e-3
+    sleep_current_a: float = 10.0e-6
+
+
+@dataclass
+class _Region:
+    """One named allocation in RAM or ROM."""
+
+    name: str
+    size: int
+
+
+class _MemoryBank:
+    """Fixed-size allocator with named regions (no fragmentation model)."""
+
+    def __init__(self, kind: str, capacity: int) -> None:
+        self.kind = kind
+        self.capacity = capacity
+        self._regions: dict[str, _Region] = {}
+
+    @property
+    def used(self) -> int:
+        return sum(r.size for r in self._regions.values())
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def allocate(self, name: str, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"negative allocation {size}")
+        if name in self._regions:
+            raise ValueError(f"{self.kind} region {name!r} already allocated")
+        if size > self.free:
+            raise MemoryExhausted(
+                f"{self.kind} exhausted: need {size} B for {name!r}, "
+                f"only {self.free} B free of {self.capacity}"
+            )
+        self._regions[name] = _Region(name, size)
+
+    def resize(self, name: str, size: int) -> None:
+        if name not in self._regions:
+            raise KeyError(f"no {self.kind} region {name!r}")
+        delta = size - self._regions[name].size
+        if delta > self.free:
+            raise MemoryExhausted(
+                f"{self.kind} exhausted resizing {name!r} to {size} B")
+        self._regions[name].size = size
+
+    def release(self, name: str) -> None:
+        self._regions.pop(name, None)
+
+    def regions(self) -> dict[str, int]:
+        return {name: region.size for name, region in self._regions.items()}
+
+
+class Mcu:
+    """Microcontroller with cycle accounting and RAM/ROM budgets."""
+
+    def __init__(self, spec: McuSpec | None = None) -> None:
+        self.spec = spec or McuSpec()
+        self.ram = _MemoryBank("RAM", self.spec.ram_bytes)
+        self.rom = _MemoryBank("ROM", self.spec.rom_bytes)
+        self.cycles_executed = 0
+
+    def cycles_to_ticks(self, cycles: int) -> int:
+        """Convert a cycle count to simulated microseconds (>= 1 if any work)."""
+        if cycles <= 0:
+            return 0
+        ticks = (cycles * SEC) // self.spec.clock_hz
+        return max(1, ticks)
+
+    def ticks_to_cycles(self, ticks: int) -> int:
+        """How many cycles fit in a tick window (floor)."""
+        return (ticks * self.spec.clock_hz) // SEC
+
+    def execute(self, cycles: int) -> int:
+        """Account for executing ``cycles``; returns the tick duration."""
+        if cycles < 0:
+            raise ValueError(f"negative cycle count {cycles}")
+        self.cycles_executed += cycles
+        return self.cycles_to_ticks(cycles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Mcu({self.spec.name}, ram {self.ram.used}/{self.ram.capacity}, "
+                f"rom {self.rom.used}/{self.rom.capacity})")

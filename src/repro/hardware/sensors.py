@@ -1,0 +1,128 @@
+"""FireFly expansion-board sensor suite.
+
+The paper lists light, temperature, audio, passive-infrared motion, dual-axis
+acceleration and voltage sensors.  Each sensor samples an *environment
+function* (a callable of simulated time, so plant or scenario code can feed
+values in), adds calibrated noise, and charges the battery for the sampling
+window.  Sensor drivers can be enabled and disabled remotely at runtime --
+one of the parametric-control EVM operations the paper demonstrates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.clock import MS, US
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Per-sensor calibration: sampling cost, noise and value range."""
+
+    name: str
+    sample_ticks: int
+    sample_current_a: float
+    noise_std: float
+    min_value: float
+    max_value: float
+
+
+class SensorDisabled(RuntimeError):
+    """Raised when sampling a sensor whose driver is disabled."""
+
+
+class Sensor:
+    """A single analog channel with a pluggable environment function."""
+
+    def __init__(self, engine, battery, spec: SensorSpec,
+                 rng: random.Random | None = None) -> None:
+        self.engine = engine
+        self.battery = battery
+        self.spec = spec
+        self.rng = rng or random.Random(0)
+        self.enabled = True
+        self.sample_count = 0
+        self._environment: Callable[[int], float] = lambda _t: 0.0
+
+    def attach_environment(self, fn: Callable[[int], float]) -> None:
+        """Set the ground-truth signal; ``fn(time_ticks) -> value``."""
+        self._environment = fn
+
+    def enable(self) -> None:
+        """Power the driver up (an EVM parametric-control operation)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Power the driver down; samples raise until re-enabled."""
+        self.enabled = False
+
+    def sample(self) -> float:
+        """Take one reading: truth + noise, clamped to the sensor range."""
+        if not self.enabled:
+            raise SensorDisabled(f"sensor {self.spec.name!r} is disabled")
+        self.battery.draw(self.spec.sample_current_a, self.spec.sample_ticks)
+        truth = self._environment(self.engine.now)
+        noisy = truth + self.rng.gauss(0.0, self.spec.noise_std)
+        self.sample_count += 1
+        return min(self.spec.max_value, max(self.spec.min_value, noisy))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "on" if self.enabled else "off"
+        return f"Sensor({self.spec.name!r}, {state})"
+
+
+def LightSensor(engine, battery, rng=None) -> Sensor:
+    """CdS photocell, reported in raw lux."""
+    return Sensor(engine, battery, SensorSpec(
+        name="light", sample_ticks=200 * US, sample_current_a=0.3e-3,
+        noise_std=5.0, min_value=0.0, max_value=100_000.0), rng)
+
+
+def TemperatureSensor(engine, battery, rng=None) -> Sensor:
+    """Thermistor channel in degrees Celsius."""
+    return Sensor(engine, battery, SensorSpec(
+        name="temperature", sample_ticks=300 * US, sample_current_a=0.2e-3,
+        noise_std=0.1, min_value=-40.0, max_value=125.0), rng)
+
+
+def AudioSensor(engine, battery, rng=None) -> Sensor:
+    """Microphone envelope level (dB SPL)."""
+    return Sensor(engine, battery, SensorSpec(
+        name="audio", sample_ticks=125 * US, sample_current_a=0.5e-3,
+        noise_std=1.0, min_value=0.0, max_value=120.0), rng)
+
+
+def PirMotionSensor(engine, battery, rng=None) -> Sensor:
+    """Passive infrared motion level (0..1 detection confidence)."""
+    return Sensor(engine, battery, SensorSpec(
+        name="pir", sample_ticks=1 * MS, sample_current_a=0.17e-3,
+        noise_std=0.01, min_value=0.0, max_value=1.0), rng)
+
+
+def Accelerometer(engine, battery, rng=None) -> Sensor:
+    """Dual-axis accelerometer magnitude in g (single fused channel)."""
+    return Sensor(engine, battery, SensorSpec(
+        name="accel", sample_ticks=150 * US, sample_current_a=0.6e-3,
+        noise_std=0.005, min_value=-10.0, max_value=10.0), rng)
+
+
+def VoltageSensor(engine, battery, rng=None) -> Sensor:
+    """Supply-rail voltage monitor in volts."""
+    return Sensor(engine, battery, SensorSpec(
+        name="voltage", sample_ticks=100 * US, sample_current_a=0.1e-3,
+        noise_std=0.002, min_value=0.0, max_value=4.0), rng)
+
+
+_SUITE = (LightSensor, TemperatureSensor, AudioSensor, PirMotionSensor,
+          Accelerometer, VoltageSensor)
+
+
+def standard_sensor_suite(engine, battery, rng=None) -> dict[str, Sensor]:
+    """The full FireFly expansion-board sensor set, keyed by name."""
+    suite = {}
+    for factory in _SUITE:
+        sensor = factory(engine, battery, rng)
+        suite[sensor.spec.name] = sensor
+    return suite

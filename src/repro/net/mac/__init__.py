@@ -1,0 +1,31 @@
+"""Medium access control protocols.
+
+Three protocols, mirroring the paper's discussion:
+
+- :class:`~repro.net.mac.rtlink.RtLinkMac` -- the TDMA protocol the EVM runs
+  on: globally synchronized, collision-free slots, nodes sleep outside their
+  slots (FireFly + AM sync makes this practical);
+- :class:`~repro.net.mac.bmac.BMac` -- low-power-listen CSMA baseline;
+- :class:`~repro.net.mac.smac.SMac` -- loosely-synchronized duty-cycle
+  baseline.
+
+All share the :class:`~repro.net.mac.base.MacProtocol` interface, so the
+lifetime/latency comparison benches swap them freely.
+"""
+
+from repro.net.mac.base import MacProtocol, MacStats
+from repro.net.mac.bmac import BMac, BMacConfig
+from repro.net.mac.rtlink import RtLinkConfig, RtLinkMac, RtLinkSchedule
+from repro.net.mac.smac import SMac, SMacConfig
+
+__all__ = [
+    "MacProtocol",
+    "MacStats",
+    "RtLinkMac",
+    "RtLinkConfig",
+    "RtLinkSchedule",
+    "BMac",
+    "BMacConfig",
+    "SMac",
+    "SMacConfig",
+]

@@ -1,0 +1,204 @@
+"""The shared radio medium.
+
+Single-channel 802.15.4 propagation with audibility from the topology graph,
+per-frame survival from a pluggable link-quality model, and overlap-based
+collision detection: a receiver that can hear two temporally overlapping
+transmissions decodes neither.  Propagation delay is negligible at in-plant
+ranges and is modeled as zero; reception completes at end-of-frame.
+
+MAC protocols attach through a :class:`MediumPort`, which couples frame
+transfer to the node's radio power state (frames are only heard in RX, and
+transmitting drives the TX state for the full airtime).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.hardware.node import FireFlyNode
+from repro.hardware.radio import RadioState
+from repro.net.link_quality import LinkQualityModel, PerfectLinks
+from repro.net.packet import Packet
+from repro.net.topology import Topology
+from repro.sim.engine import Engine
+from repro.sim.trace import Trace
+
+
+@dataclass
+class _Transmission:
+    """One in-flight frame."""
+
+    sender: str
+    packet: Packet
+    start: int
+    end: int
+
+
+@dataclass
+class MediumStats:
+    """Counters the MAC-comparison benchmarks read."""
+
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    collisions: int = 0
+    channel_losses: int = 0
+    missed_radio_off: int = 0
+
+
+class MediumPort:
+    """A node's attachment point to the medium."""
+
+    def __init__(self, medium: "Medium", node: FireFlyNode) -> None:
+        self.medium = medium
+        self.node = node
+        self.receive_callback: Callable[[Packet], None] | None = None
+
+    def set_receive_callback(self, fn: Callable[[Packet], None]) -> None:
+        self.receive_callback = fn
+
+    def transmit(self, packet: Packet,
+                 after_state: RadioState = RadioState.IDLE) -> int:
+        """Send ``packet``; returns the airtime in ticks.
+
+        The radio is driven to TX for the whole airtime, then to
+        ``after_state``.  Delivery outcomes resolve at end-of-frame.
+        """
+        return self.medium._transmit(self.node, packet, after_state)
+
+    def channel_busy(self) -> bool:
+        """Carrier sense: is any audible transmission in flight right now?"""
+        return self.medium._channel_busy(self.node.node_id)
+
+    def listen(self) -> None:
+        self.node.radio.set_state(RadioState.RX)
+
+    def sleep(self) -> None:
+        self.node.radio.set_state(RadioState.OFF)
+
+    def idle(self) -> None:
+        self.node.radio.set_state(RadioState.IDLE)
+
+
+class Medium:
+    """Owns all ports, in-flight transmissions and delivery resolution."""
+
+    def __init__(self, engine: Engine, topology: Topology,
+                 link_model: LinkQualityModel | None = None,
+                 rng: random.Random | None = None,
+                 trace: Trace | None = None) -> None:
+        self.engine = engine
+        self.topology = topology
+        self.link_model = link_model or PerfectLinks()
+        self.rng = rng or random.Random(0)
+        self.trace = trace
+        self.stats = MediumStats()
+        self._ports: dict[str, MediumPort] = {}
+        self._active: list[_Transmission] = []
+
+    def attach(self, node: FireFlyNode) -> MediumPort:
+        if node.node_id in self._ports:
+            raise ValueError(f"node {node.node_id!r} already attached")
+        if node.node_id not in self.topology:
+            raise KeyError(f"node {node.node_id!r} not in topology")
+        port = MediumPort(self, node)
+        self._ports[node.node_id] = port
+        return port
+
+    def port(self, node_id: str) -> MediumPort:
+        return self._ports[node_id]
+
+    # ------------------------------------------------------------------
+    # Transmission pipeline
+    # ------------------------------------------------------------------
+    def _transmit(self, node: FireFlyNode, packet: Packet,
+                  after_state: RadioState) -> int:
+        if node.failed:
+            raise RuntimeError(
+                f"failed node {node.node_id!r} attempted to transmit")
+        airtime = node.radio.airtime(packet.on_air_bytes)
+        tx = _Transmission(sender=node.node_id, packet=packet,
+                           start=self.engine.now,
+                           end=self.engine.now + airtime)
+        self._active.append(tx)
+        self.stats.frames_sent += 1
+        node.radio.set_state(RadioState.TX)
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "medium.tx", node.node_id,
+                              kind=packet.kind, dst=packet.dst,
+                              bytes=packet.on_air_bytes, seq=packet.seq)
+        self.engine.schedule(airtime, self._complete, tx, node, after_state)
+        return airtime
+
+    def _complete(self, tx: _Transmission, node: FireFlyNode,
+                  after_state: RadioState) -> None:
+        if not node.failed:
+            node.radio.set_state(after_state)
+        for receiver_id in self.topology.neighbors(tx.sender):
+            self._resolve_reception(tx, receiver_id)
+        # Keep finished transmissions around for a grace window so later
+        # frames that overlapped them still detect the collision; pruned
+        # lazily in _prune (B-MAC preambles are the longest frames).
+        self._prune()
+
+    _GRACE_TICKS = 250_000  # 250 ms > longest preamble airtime
+
+    def _prune(self) -> None:
+        horizon = self.engine.now - self._GRACE_TICKS
+        self._active = [t for t in self._active if t.end >= horizon]
+
+    def _resolve_reception(self, tx: _Transmission, receiver_id: str) -> None:
+        port = self._ports.get(receiver_id)
+        if port is None:
+            return
+        node = port.node
+        if node.failed or node.radio.state is not RadioState.RX:
+            self.stats.missed_radio_off += 1
+            return
+        if self._collided_at(tx, receiver_id):
+            self.stats.collisions += 1
+            if self.trace is not None:
+                self.trace.record(self.engine.now, "medium.collision",
+                                  receiver_id, seq=tx.packet.seq,
+                                  sender=tx.sender)
+            return
+        distance = self.topology.distance(tx.sender, receiver_id)
+        if not self.link_model.frame_survives(distance,
+                                              tx.packet.on_air_bytes,
+                                              self.rng):
+            self.stats.channel_losses += 1
+            if self.trace is not None:
+                self.trace.record(self.engine.now, "medium.loss", receiver_id,
+                                  seq=tx.packet.seq, sender=tx.sender)
+            return
+        self.stats.frames_delivered += 1
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "medium.rx", receiver_id,
+                              kind=tx.packet.kind, src=tx.sender,
+                              seq=tx.packet.seq)
+        if port.receive_callback is not None:
+            port.receive_callback(tx.packet)
+
+    def _collided_at(self, tx: _Transmission, receiver_id: str) -> bool:
+        """True if another overlapping frame was audible at the receiver."""
+        for other in self._active:
+            if other is tx:
+                continue
+            if other.end <= tx.start or other.start >= tx.end:
+                continue
+            if other.sender == receiver_id:
+                return True  # receiver was itself transmitting
+            if self.topology.has_link(other.sender, receiver_id):
+                return True
+        return False
+
+    def _channel_busy(self, node_id: str) -> bool:
+        for tx in self._active:
+            if tx.end <= self.engine.now:
+                continue
+            if tx.sender == node_id:
+                return True
+            if self.topology.has_link(tx.sender, node_id):
+                return True
+        return False

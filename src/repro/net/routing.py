@@ -1,0 +1,179 @@
+"""Implicit tree routing.
+
+nano-RK ships a tree routing protocol; the EVM uses it for multi-hop Virtual
+Components that span more than one radio hop.  A :class:`TreeRouter` sits
+between the EVM and the MAC: it owns a next-hop table derived from a BFS tree
+rooted at the gateway, forwards frames not addressed to its node, and
+delivers the rest upward.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import networkx as nx
+
+from repro.net.mac.base import MacProtocol
+from repro.net.packet import BROADCAST, Packet
+from repro.net.topology import Topology
+
+
+def build_tree_tables(topology: Topology, root: str,
+                      ) -> dict[str, dict[str, str]]:
+    """Per-node next-hop tables over the BFS tree rooted at ``root``.
+
+    Returns ``tables[node][destination] = next_hop``.  Only tree edges are
+    used, matching an implicit-tree protocol where nodes know their parent
+    and children but not the full graph.
+    """
+    if root not in topology:
+        raise KeyError(f"root {root!r} not in topology")
+    tree = nx.bfs_tree(topology.graph, root).to_undirected()
+    tables: dict[str, dict[str, str]] = {}
+    for node in tree.nodes:
+        paths = nx.shortest_path(tree, node)
+        table = {}
+        for dst, path in paths.items():
+            if dst == node or len(path) < 2:
+                continue
+            table[dst] = path[1]
+        tables[node] = table
+    return tables
+
+
+class TreeRouter:
+    """Forwarding layer bound to one node's MAC."""
+
+    def __init__(self, mac: MacProtocol, next_hops: dict[str, str]) -> None:
+        self.mac = mac
+        self.next_hops = dict(next_hops)
+        self.deliver_handler: Callable[[Packet], None] | None = None
+        self.forwarded = 0
+        self.no_route_drops = 0
+        mac.set_receive_handler(self._on_packet)
+
+    @property
+    def node_id(self) -> str:
+        return self.mac.node_id
+
+    def set_deliver_handler(self, fn: Callable[[Packet], None]) -> None:
+        self.deliver_handler = fn
+
+    def update_routes(self, next_hops: dict[str, str]) -> None:
+        """Swap the table after a topology change (EVM membership events)."""
+        self.next_hops = dict(next_hops)
+
+    def send(self, packet: Packet) -> bool:
+        """Route ``packet`` toward ``packet.dst`` (may be multi-hop away)."""
+        if packet.is_broadcast or packet.dst == self.node_id:
+            raise ValueError(
+                "TreeRouter.send expects a remote unicast destination")
+        next_hop = self.next_hops.get(packet.dst)
+        if next_hop is None:
+            self.no_route_drops += 1
+            return False
+        link_frame = Packet(src=self.node_id, dst=next_hop, kind=packet.kind,
+                            payload=(packet.dst, packet.payload),
+                            size_bytes=packet.size_bytes,
+                            created_at=packet.created_at or None
+                            or packet.created_at, hops=packet.hops)
+        # Preserve origination time for end-to-end latency accounting.
+        link_frame.created_at = packet.created_at
+        link_frame.kind = "route." + packet.kind
+        return self.mac.send(link_frame)
+
+    def _on_packet(self, packet: Packet) -> None:
+        if not packet.kind.startswith("route."):
+            # Single-hop traffic passes straight through.
+            if self.deliver_handler is not None:
+                self.deliver_handler(packet)
+            return
+        final_dst, inner_payload = packet.payload
+        original = Packet(src=packet.src, dst=final_dst,
+                          kind=packet.kind[len("route."):],
+                          payload=inner_payload,
+                          size_bytes=packet.size_bytes,
+                          created_at=packet.created_at,
+                          hops=packet.hops)
+        if final_dst == self.node_id:
+            if self.deliver_handler is not None:
+                self.deliver_handler(original)
+            return
+        original.hops += 1
+        self.forwarded += 1
+        self.send(original)
+
+
+class RoutedMacAdapter:
+    """Presents the MAC interface over a :class:`TreeRouter`, so EVM
+    runtimes work unchanged on multi-hop Virtual Components.
+
+    - unicast frames to non-neighbors are routed over the tree;
+    - broadcast frames are flooded: each node retransmits a broadcast it
+      has not seen before (dedup by origin sequence number), bounded by
+      ``flood_ttl`` hops.
+    """
+
+    FLOOD_PREFIX = "flood."
+
+    def __init__(self, mac: MacProtocol, next_hops: dict[str, str],
+                 flood_ttl: int = 4) -> None:
+        self.mac = mac
+        self.router = TreeRouter(mac, next_hops)
+        self.flood_ttl = flood_ttl
+        self._seen_floods: set[tuple[str, int]] = set()
+        self._handler: Callable[[Packet], None] | None = None
+        self.router.set_deliver_handler(self._deliver)
+        self.floods_relayed = 0
+
+    @property
+    def node_id(self) -> str:
+        return self.mac.node_id
+
+    @property
+    def stats(self):
+        return self.mac.stats
+
+    def set_receive_handler(self, fn: Callable[[Packet], None]) -> None:
+        self._handler = fn
+
+    def send(self, packet: Packet) -> bool:
+        if packet.is_broadcast:
+            flood = Packet(src=self.node_id, dst=BROADCAST,
+                           kind=self.FLOOD_PREFIX + packet.kind,
+                           payload=(self.node_id, packet.seq, packet.payload),
+                           size_bytes=packet.size_bytes + 4,
+                           created_at=packet.created_at, hops=0)
+            self._seen_floods.add((self.node_id, packet.seq))
+            return self.mac.send(flood)
+        return self.router.send(packet)
+
+    def stop(self) -> None:
+        self.mac.stop()
+
+    def _deliver(self, packet: Packet) -> None:
+        if packet.kind.startswith(self.FLOOD_PREFIX):
+            origin, seq, payload = packet.payload
+            key = (origin, seq)
+            if key in self._seen_floods:
+                return
+            self._seen_floods.add(key)
+            original = Packet(src=origin, dst=BROADCAST,
+                              kind=packet.kind[len(self.FLOOD_PREFIX):],
+                              payload=payload,
+                              size_bytes=max(0, packet.size_bytes - 4),
+                              created_at=packet.created_at,
+                              hops=packet.hops)
+            if self._handler is not None:
+                self._handler(original)
+            if packet.hops + 1 < self.flood_ttl:
+                relay = Packet(src=self.node_id, dst=BROADCAST,
+                               kind=packet.kind, payload=packet.payload,
+                               size_bytes=packet.size_bytes,
+                               created_at=packet.created_at,
+                               hops=packet.hops + 1)
+                self.floods_relayed += 1
+                self.mac.send(relay)
+            return
+        if self._handler is not None:
+            self._handler(packet)

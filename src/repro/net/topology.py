@@ -1,0 +1,160 @@
+"""Network topologies.
+
+A :class:`Topology` is a `networkx` graph over node ids with per-node planar
+positions.  The medium consults it for *audibility* (who can possibly hear
+whom); the link-quality model then decides per-frame survival.  Helpers build
+the layouts used across the experiments: the paper's 6-node HIL star/mesh,
+lines for multi-hop tests, grids and random geometric graphs for scale.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+
+from repro.hardware.node import NodePosition
+
+
+class Topology:
+    """Mutable connectivity graph with positions."""
+
+    def __init__(self) -> None:
+        self.graph = nx.Graph()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: str, position: NodePosition | None = None) -> None:
+        if node_id in self.graph:
+            raise ValueError(f"node {node_id!r} already in topology")
+        self.graph.add_node(node_id, position=position or NodePosition(0.0, 0.0))
+
+    def add_link(self, a: str, b: str) -> None:
+        for n in (a, b):
+            if n not in self.graph:
+                raise KeyError(f"unknown node {n!r}")
+        self.graph.add_edge(a, b)
+
+    def remove_node(self, node_id: str) -> None:
+        """Drop a node and all its links (topology-change experiments)."""
+        if node_id in self.graph:
+            self.graph.remove_node(node_id)
+
+    def remove_link(self, a: str, b: str) -> None:
+        if self.graph.has_edge(a, b):
+            self.graph.remove_edge(a, b)
+
+    def connect_by_range(self, radio_range_m: float) -> None:
+        """Create links between every node pair within ``radio_range_m``."""
+        nodes = list(self.graph.nodes)
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                if self.distance(a, b) <= radio_range_m:
+                    self.graph.add_edge(a, b)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def node_ids(self) -> list[str]:
+        return list(self.graph.nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self.graph
+
+    def position(self, node_id: str) -> NodePosition:
+        return self.graph.nodes[node_id]["position"]
+
+    def neighbors(self, node_id: str) -> list[str]:
+        if node_id not in self.graph:
+            return []
+        return list(self.graph.neighbors(node_id))
+
+    def has_link(self, a: str, b: str) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def distance(self, a: str, b: str) -> float:
+        return self.position(a).distance_to(self.position(b))
+
+    def is_connected(self) -> bool:
+        if self.graph.number_of_nodes() == 0:
+            return True
+        return nx.is_connected(self.graph)
+
+    def shortest_path(self, a: str, b: str) -> list[str]:
+        return nx.shortest_path(self.graph, a, b)
+
+    def bfs_tree_toward(self, root: str) -> dict[str, str]:
+        """Parent pointers toward ``root`` (implicit tree routing)."""
+        parents: dict[str, str] = {}
+        for child, parent in nx.bfs_predecessors(self.graph, root):
+            parents[child] = parent
+        return parents
+
+
+# ----------------------------------------------------------------------
+# Canned layouts
+# ----------------------------------------------------------------------
+def star(center: str, leaves: list[str], spacing_m: float = 10.0) -> Topology:
+    """Gateway-centered star -- the paper's Fig. 5 layout skeleton."""
+    topo = Topology()
+    topo.add_node(center, NodePosition(0.0, 0.0))
+    for i, leaf in enumerate(leaves):
+        angle = 2.0 * math.pi * i / max(1, len(leaves))
+        topo.add_node(leaf, NodePosition(spacing_m * math.cos(angle),
+                                         spacing_m * math.sin(angle)))
+        topo.add_link(center, leaf)
+    return topo
+
+
+def full_mesh(node_ids: list[str], spacing_m: float = 10.0) -> Topology:
+    """Every pair linked; nodes on a circle."""
+    topo = Topology()
+    for i, node_id in enumerate(node_ids):
+        angle = 2.0 * math.pi * i / max(1, len(node_ids))
+        topo.add_node(node_id, NodePosition(spacing_m * math.cos(angle),
+                                            spacing_m * math.sin(angle)))
+    for i, a in enumerate(node_ids):
+        for b in node_ids[i + 1:]:
+            topo.add_link(a, b)
+    return topo
+
+
+def line(node_ids: list[str], spacing_m: float = 10.0) -> Topology:
+    """A chain -- multi-hop routing and pipelining tests."""
+    topo = Topology()
+    for i, node_id in enumerate(node_ids):
+        topo.add_node(node_id, NodePosition(i * spacing_m, 0.0))
+    for a, b in zip(node_ids, node_ids[1:]):
+        topo.add_link(a, b)
+    return topo
+
+
+def grid(rows: int, cols: int, spacing_m: float = 10.0,
+         prefix: str = "n") -> Topology:
+    """rows x cols lattice with 4-connectivity; ids ``{prefix}{r}_{c}``."""
+    topo = Topology()
+    for r in range(rows):
+        for c in range(cols):
+            topo.add_node(f"{prefix}{r}_{c}",
+                          NodePosition(c * spacing_m, r * spacing_m))
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                topo.add_link(f"{prefix}{r}_{c}", f"{prefix}{r}_{c + 1}")
+            if r + 1 < rows:
+                topo.add_link(f"{prefix}{r}_{c}", f"{prefix}{r + 1}_{c}")
+    return topo
+
+
+def random_geometric(n: int, area_m: float, radio_range_m: float,
+                     rng: random.Random, prefix: str = "n") -> Topology:
+    """Uniform placement in an ``area_m`` square, range-based links."""
+    topo = Topology()
+    for i in range(n):
+        topo.add_node(f"{prefix}{i}", NodePosition(rng.uniform(0, area_m),
+                                                   rng.uniform(0, area_m)))
+    topo.connect_by_range(radio_range_m)
+    return topo

@@ -1,0 +1,39 @@
+"""Natural gas processing plant -- the Unisim substitute.
+
+The paper's evaluation drives a Honeywell Unisim model of a gas plant
+(Fig. 4): raw gas containing N2, CO2 and C1..nC4 is flashed in an inlet
+separator, cooled in a gas/gas exchanger and a propane chiller, flashed
+again in a low-temperature separator (LTS), and the combined liquids are
+distilled in a depropanizer.  Unisim is proprietary, so this package is a
+first-principles lumped-dynamics model of the same flowsheet, exposing the
+same sensor/actuator surface through the HIL bridge:
+
+- :mod:`~repro.plant.components` -- species, compositions, streams;
+- :mod:`~repro.plant.thermo` -- temperature-driven vapor/liquid splits;
+- :mod:`~repro.plant.units` -- mixers, separators, exchangers, valves,
+  the depropanizer;
+- :mod:`~repro.plant.flowsheet` -- ordered-unit dynamic solver;
+- :mod:`~repro.plant.gas_plant` -- the Fig. 4 plant with its 8 control
+  loops (4 top-level + 4 depropanizer);
+- :mod:`~repro.plant.hil` -- hardware-in-loop bridge to the ModBus
+  process image.
+
+The substitution preserves what the EVM sees: realistic closed-loop
+dynamics on the level/flow/temperature/pressure signals the wireless
+controllers sense and actuate.
+"""
+
+from repro.plant.components import SPECIES, Composition, Stream
+from repro.plant.flowsheet import Flowsheet
+from repro.plant.gas_plant import ControlLoop, NaturalGasPlant
+from repro.plant.hil import HilBridge
+
+__all__ = [
+    "SPECIES",
+    "Composition",
+    "Stream",
+    "Flowsheet",
+    "NaturalGasPlant",
+    "ControlLoop",
+    "HilBridge",
+]

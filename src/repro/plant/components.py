@@ -1,0 +1,122 @@
+"""Chemical species, compositions and process streams.
+
+The feed basis matches the paper: "a raw natural gas stream containing N2,
+CO2, and C1 through n-C4".  Compositions are mole fractions over the fixed
+species list; streams carry molar flow, composition, temperature and
+pressure.  All flows are mol/s, temperatures degC, pressures kPa(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Species:
+    """One component with the properties the thermo model uses."""
+
+    name: str
+    formula: str
+    boiling_point_c: float   # normal boiling point
+    molar_mass: float        # g/mol
+
+
+SPECIES: tuple[Species, ...] = (
+    Species("nitrogen", "N2", -195.8, 28.01),
+    Species("carbon-dioxide", "CO2", -78.5, 44.01),
+    Species("methane", "C1", -161.5, 16.04),
+    Species("ethane", "C2", -88.6, 30.07),
+    Species("propane", "C3", -42.1, 44.10),
+    Species("isobutane", "iC4", -11.7, 58.12),
+    Species("n-butane", "nC4", -0.5, 58.12),
+)
+
+SPECIES_INDEX: dict[str, int] = {s.formula: i for i, s in enumerate(SPECIES)}
+
+N_SPECIES = len(SPECIES)
+
+
+class Composition:
+    """Mole fractions over :data:`SPECIES`, kept normalized."""
+
+    __slots__ = ("fractions",)
+
+    def __init__(self, fractions: dict[str, float] | list[float]) -> None:
+        if isinstance(fractions, dict):
+            values = [0.0] * N_SPECIES
+            for formula, fraction in fractions.items():
+                if formula not in SPECIES_INDEX:
+                    raise KeyError(f"unknown species {formula!r}")
+                values[SPECIES_INDEX[formula]] = fraction
+        else:
+            if len(fractions) != N_SPECIES:
+                raise ValueError(
+                    f"expected {N_SPECIES} fractions, got {len(fractions)}")
+            values = list(fractions)
+        if any(v < 0 for v in values):
+            raise ValueError(f"negative mole fraction in {values}")
+        total = sum(values)
+        if total <= 0:
+            raise ValueError("composition must have positive total")
+        self.fractions = [v / total for v in values]
+
+    def __getitem__(self, formula: str) -> float:
+        return self.fractions[SPECIES_INDEX[formula]]
+
+    def as_dict(self) -> dict[str, float]:
+        return {s.formula: f for s, f in zip(SPECIES, self.fractions)}
+
+    def molar_mass(self) -> float:
+        return sum(s.molar_mass * f
+                   for s, f in zip(SPECIES, self.fractions))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(f"{s.formula}={f:.3f}"
+                          for s, f in zip(SPECIES, self.fractions) if f > 0)
+        return f"Composition({parts})"
+
+
+@dataclass
+class Stream:
+    """One process stream."""
+
+    molar_flow: float               # mol/s
+    composition: Composition
+    temperature_c: float
+    pressure_kpa: float
+
+    def __post_init__(self) -> None:
+        if self.molar_flow < 0:
+            raise ValueError(f"negative flow {self.molar_flow}")
+
+    def component_flow(self, formula: str) -> float:
+        return self.molar_flow * self.composition[formula]
+
+    def component_flows(self) -> list[float]:
+        return [self.molar_flow * f for f in self.composition.fractions]
+
+    def copy(self) -> "Stream":
+        return Stream(self.molar_flow, Composition(self.composition.fractions),
+                      self.temperature_c, self.pressure_kpa)
+
+    @staticmethod
+    def empty(temperature_c: float = 25.0,
+              pressure_kpa: float = 101.3) -> "Stream":
+        return Stream(0.0, Composition({"C1": 1.0}), temperature_c,
+                      pressure_kpa)
+
+    @staticmethod
+    def mix(streams: list["Stream"]) -> "Stream":
+        """Adiabatic-ish mix: molar-weighted temperature, min pressure."""
+        live = [s for s in streams if s.molar_flow > 0]
+        if not live:
+            return Stream.empty()
+        total = sum(s.molar_flow for s in live)
+        flows = [0.0] * N_SPECIES
+        temp = 0.0
+        for s in live:
+            temp += s.temperature_c * s.molar_flow / total
+            for i, f in enumerate(s.component_flows()):
+                flows[i] += f
+        pressure = min(s.pressure_kpa for s in live)
+        return Stream(total, Composition(flows), temp, pressure)

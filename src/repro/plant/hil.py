@@ -1,0 +1,143 @@
+"""Hardware-in-loop bridge: plant <-> ModBus process image <-> radio.
+
+Mirrors the paper's rig (Fig. 5): Unisim runs on a workstation, a gateway
+FireFly node speaks ModBus to it, and sensor/controller/actuator nodes reach
+the gateway over RT-Link.  Here:
+
+- the :class:`HilBridge` steps the plant on the simulation clock and syncs
+  the ModBus :class:`~repro.net.modbus.ProcessImage` both ways through a
+  :class:`~repro.net.modbus.ModbusSerialLink` (with its transaction
+  latency);
+- sensor registers carry plant PVs to the radio side; holding registers
+  carry actuation commands back.
+
+Register map (16-bit, scaled):
+    100 + i : sensor registers, in declaration order
+    200 + j : actuator registers, in declaration order
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.modbus import ModbusSerialLink, ProcessImage
+from repro.plant.gas_plant import NaturalGasPlant
+from repro.sim.clock import MS, SEC
+from repro.sim.engine import Engine
+
+SENSOR_BASE_ADDRESS = 100
+ACTUATOR_BASE_ADDRESS = 200
+
+
+@dataclass(frozen=True)
+class RegisterBinding:
+    """One plant signal bound to one ModBus register."""
+
+    address: int
+    signal: str
+    lo: float
+    hi: float
+
+
+# Engineering ranges for register scaling.
+_SENSOR_RANGES = {
+    "lts_level_pct": (0.0, 100.0),
+    "sep_liq_flow": (0.0, 50.0),
+    "lts_liq_flow": (0.0, 120.0),
+    "tower_feed_flow": (0.0, 150.0),
+    "inlet_sep_level_pct": (0.0, 100.0),
+    "chiller_temp_c": (-50.0, 50.0),
+    "sales_pressure_kpa": (0.0, 8000.0),
+    "deprop_drum_level_pct": (0.0, 100.0),
+    "deprop_sump_level_pct": (0.0, 100.0),
+    "deprop_pressure_kpa": (0.0, 4000.0),
+    "deprop_temp_c": (0.0, 200.0),
+    "lts_valve_pct": (0.0, 100.0),
+}
+
+_ACTUATOR_RANGES = {
+    "lts_liquid_valve_pct": (0.0, 100.0),
+    "inlet_sep_valve_pct": (0.0, 100.0),
+    "chiller_duty_pct": (0.0, 100.0),
+    "sales_valve_pct": (0.0, 100.0),
+    "deprop_distillate_valve_pct": (0.0, 100.0),
+    "deprop_bottoms_valve_pct": (0.0, 100.0),
+    "deprop_gas_valve_pct": (0.0, 100.0),
+    "deprop_reboil_duty_pct": (0.0, 100.0),
+}
+
+
+class HilBridge:
+    """Steps the plant inside the discrete-event simulation and keeps the
+    ModBus process image synchronized with it."""
+
+    def __init__(self, engine: Engine, plant: NaturalGasPlant,
+                 plant_dt_ticks: int = 500 * MS,
+                 modbus_transaction_ticks: int = 5 * MS) -> None:
+        self.engine = engine
+        self.plant = plant
+        self.plant_dt_ticks = plant_dt_ticks
+        self.image = ProcessImage()
+        self.link = ModbusSerialLink(engine, self.image,
+                                     modbus_transaction_ticks)
+        self.sensor_bindings: dict[str, RegisterBinding] = {}
+        self.actuator_bindings: dict[str, RegisterBinding] = {}
+        self._address_to_actuator: dict[int, RegisterBinding] = {}
+        self._define_registers()
+        self.image.on_write(self._on_register_write)
+        self.steps_taken = 0
+        self._running = False
+
+    def _define_registers(self) -> None:
+        for i, (signal, (lo, hi)) in enumerate(sorted(_SENSOR_RANGES.items())):
+            address = SENSOR_BASE_ADDRESS + i
+            binding = RegisterBinding(address, signal, lo, hi)
+            self.sensor_bindings[signal] = binding
+            initial = self.plant.flowsheet.read(signal)
+            self.image.define(address, signal, lo, hi, initial=initial)
+        for j, (signal, (lo, hi)) in enumerate(
+                sorted(_ACTUATOR_RANGES.items())):
+            address = ACTUATOR_BASE_ADDRESS + j
+            binding = RegisterBinding(address, signal, lo, hi)
+            self.actuator_bindings[signal] = binding
+            self._address_to_actuator[address] = binding
+            self.image.define(address, signal, lo, hi, initial=0.0)
+
+    # ------------------------------------------------------------------
+    def sensor_address(self, signal: str) -> int:
+        return self.sensor_bindings[signal].address
+
+    def actuator_address(self, signal: str) -> int:
+        return self.actuator_bindings[signal].address
+
+    def read_sensor(self, signal: str) -> float:
+        """Read the register copy of a sensor (what the radio side sees)."""
+        return self.image.read(self.sensor_address(signal))
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin stepping the plant every ``plant_dt_ticks``."""
+        if self._running:
+            return
+        self._running = True
+        self.engine.schedule(self.plant_dt_ticks, self._step)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _step(self) -> None:
+        if not self._running:
+            return
+        self.plant.step(self.plant_dt_ticks / SEC)
+        self.steps_taken += 1
+        # Publish PVs to the image (one serial transaction's latency).
+        for signal, binding in self.sensor_bindings.items():
+            value = self.plant.flowsheet.read(signal)
+            self.link.write_async(binding.address, value)
+        self.engine.schedule(self.plant_dt_ticks, self._step)
+
+    def _on_register_write(self, address: int, value: float) -> None:
+        binding = self._address_to_actuator.get(address)
+        if binding is None:
+            return
+        self.plant.flowsheet.write(binding.signal, value)

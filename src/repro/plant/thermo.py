@@ -1,0 +1,70 @@
+"""Simplified vapor-liquid thermodynamics.
+
+Full equation-of-state flashes are Unisim's job; the EVM only needs the
+*closed-loop shape* of the plant response.  We use a temperature-driven
+split: the fraction of a species condensing to liquid follows a logistic
+curve in (T_boil,effective - T), where pressure raises the effective boiling
+point (Clausius-Clapeyron flavored).  This reproduces the qualitative
+behavior the flowsheet depends on -- colder separators condense more and
+heavier components condense first -- with smooth, stable derivatives.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.plant.components import SPECIES, Composition, Stream
+
+_PRESSURE_REF_KPA = 101.3
+_BOILING_SHIFT_C_PER_LOG_P = 25.0   # effective Tb rise per decade of pressure
+_SPLIT_WIDTH_C = 30.0               # softness of the condensation curve
+
+
+def effective_boiling_point_c(boiling_point_c: float,
+                              pressure_kpa: float) -> float:
+    """Boiling point shifted by pressure (one decade ~ +25 degC)."""
+    if pressure_kpa <= 0:
+        raise ValueError(f"pressure must be positive, got {pressure_kpa}")
+    return boiling_point_c + _BOILING_SHIFT_C_PER_LOG_P * math.log10(
+        pressure_kpa / _PRESSURE_REF_KPA)
+
+
+def liquid_fraction(boiling_point_c: float, temperature_c: float,
+                    pressure_kpa: float) -> float:
+    """Fraction of a species condensing at (T, P); logistic in Tb_eff - T."""
+    tb_eff = effective_boiling_point_c(boiling_point_c, pressure_kpa)
+    x = (tb_eff - temperature_c) / _SPLIT_WIDTH_C
+    return 1.0 / (1.0 + math.exp(-x * 4.0))
+
+
+def flash(stream: Stream, temperature_c: float,
+          pressure_kpa: float) -> tuple[Stream, Stream]:
+    """Split a stream into (vapor, liquid) at the given conditions.
+
+    Returns two streams at (T, P); either may have zero flow.
+    """
+    vapor_flows = []
+    liquid_flows = []
+    for species, flow in zip(SPECIES, stream.component_flows()):
+        liq = flow * liquid_fraction(species.boiling_point_c, temperature_c,
+                                     pressure_kpa)
+        liquid_flows.append(liq)
+        vapor_flows.append(flow - liq)
+    vapor_total = sum(vapor_flows)
+    liquid_total = sum(liquid_flows)
+    vapor = (Stream(vapor_total, Composition(vapor_flows), temperature_c,
+                    pressure_kpa) if vapor_total > 1e-12
+             else Stream.empty(temperature_c, pressure_kpa))
+    liquid = (Stream(liquid_total, Composition(liquid_flows), temperature_c,
+                     pressure_kpa) if liquid_total > 1e-12
+              else Stream.empty(temperature_c, pressure_kpa))
+    return vapor, liquid
+
+
+HEAT_CAPACITY_J_PER_MOL_K = 45.0
+"""Lumped molar heat capacity used for exchanger duty estimates."""
+
+
+def sensible_duty_watts(stream: Stream, delta_t: float) -> float:
+    """Heat duty to change a stream's temperature by ``delta_t``."""
+    return stream.molar_flow * HEAT_CAPACITY_J_PER_MOL_K * delta_t

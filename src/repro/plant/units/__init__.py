@@ -1,0 +1,18 @@
+"""Process units for the gas-plant flowsheet."""
+
+from repro.plant.units.base import ProcessUnit
+from repro.plant.units.column import Depropanizer
+from repro.plant.units.heat_exchanger import Chiller, GasGasExchanger
+from repro.plant.units.mixer import Mixer
+from repro.plant.units.separator import TwoPhaseSeparator
+from repro.plant.units.valve import ControlValve
+
+__all__ = [
+    "ProcessUnit",
+    "Mixer",
+    "ControlValve",
+    "TwoPhaseSeparator",
+    "GasGasExchanger",
+    "Chiller",
+    "Depropanizer",
+]

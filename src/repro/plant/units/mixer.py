@@ -1,0 +1,21 @@
+"""Stream mixers."""
+
+from __future__ import annotations
+
+from repro.plant.components import Stream
+from repro.plant.units.base import ProcessUnit, StreamSource
+
+
+class Mixer(ProcessUnit):
+    """Combines any number of inlet streams into :attr:`outlet`."""
+
+    def __init__(self, name: str, inlets: list[StreamSource]) -> None:
+        super().__init__(name)
+        self.inlets = list(inlets)
+        self.outlet = Stream.empty()
+
+    def add_inlet(self, source: StreamSource) -> None:
+        self.inlets.append(source)
+
+    def step(self, dt_sec: float) -> None:
+        self.outlet = Stream.mix([source() for source in self.inlets])

@@ -1,0 +1,42 @@
+"""Control valves.
+
+Linear-trim valve: requested flow = Cv * opening.  The holding unit decides
+how much of the request can physically be met (a separator cannot drain
+liquid it does not hold).  Opening moves toward its command with a
+first-order actuator lag, so actuation steps are smooth.
+"""
+
+from __future__ import annotations
+
+from repro.plant.units.base import ProcessUnit
+
+
+class ControlValve(ProcessUnit):
+    """Valve with a linear characteristic and actuator lag."""
+
+    def __init__(self, name: str, cv_mol_s: float,
+                 initial_opening_pct: float = 0.0,
+                 actuator_tau_sec: float = 2.0) -> None:
+        super().__init__(name)
+        if cv_mol_s <= 0:
+            raise ValueError(f"Cv must be positive, got {cv_mol_s}")
+        self.cv_mol_s = cv_mol_s
+        self.command_pct = initial_opening_pct
+        self.opening_pct = initial_opening_pct
+        self.actuator_tau_sec = actuator_tau_sec
+
+    def set_command(self, opening_pct: float) -> None:
+        """Command a new opening (the actuator slews toward it)."""
+        self.command_pct = min(100.0, max(0.0, float(opening_pct)))
+
+    def step(self, dt_sec: float) -> None:
+        if self.actuator_tau_sec <= 0:
+            self.opening_pct = self.command_pct
+            return
+        alpha = dt_sec / (self.actuator_tau_sec + dt_sec)
+        self.opening_pct += alpha * (self.command_pct - self.opening_pct)
+
+    @property
+    def requested_flow(self) -> float:
+        """mol/s the valve would pass if supply were unlimited."""
+        return self.cv_mol_s * self.opening_pct / 100.0

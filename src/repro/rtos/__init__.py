@@ -1,0 +1,54 @@
+"""nano-RK: the resource-kernel RTOS model under the EVM.
+
+nano-RK is a fully preemptive fixed-priority RTOS with first-class resource
+reservations: tasks declare CPU, network and energy budgets and the kernel
+*enforces* them.  The EVM sits on top as a privileged super-task with
+parametric and programmable control of the whole kernel.
+
+We model the pieces the paper's claims rest on:
+
+- :mod:`~repro.rtos.task` -- task specs and task control blocks (the unit
+  the EVM migrates);
+- :mod:`~repro.rtos.reservations` -- CPU / network / energy budgets with
+  periodic replenishment and enforcement;
+- :mod:`~repro.rtos.analysis` -- schedulability tests (Liu-Layland and
+  hyperbolic utilization bounds, exact response-time analysis) used by the
+  EVM's admission control;
+- :mod:`~repro.rtos.scheduler` -- event-driven simulation of preemptive
+  fixed-priority scheduling with reservation throttling and deadline-miss
+  detection;
+- :mod:`~repro.rtos.kernel` -- the per-node kernel facade the EVM drives.
+"""
+
+from repro.rtos.analysis import (
+    AnalysisReport,
+    hyperbolic_bound_test,
+    liu_layland_bound,
+    response_time_analysis,
+    utilization,
+)
+from repro.rtos.kernel import NanoRK
+from repro.rtos.reservations import (
+    CpuReservation,
+    EnergyReservation,
+    NetworkReservation,
+)
+from repro.rtos.scheduler import Job, Scheduler
+from repro.rtos.task import TaskSpec, TaskState, Tcb
+
+__all__ = [
+    "TaskSpec",
+    "TaskState",
+    "Tcb",
+    "CpuReservation",
+    "NetworkReservation",
+    "EnergyReservation",
+    "liu_layland_bound",
+    "utilization",
+    "hyperbolic_bound_test",
+    "response_time_analysis",
+    "AnalysisReport",
+    "Scheduler",
+    "Job",
+    "NanoRK",
+]

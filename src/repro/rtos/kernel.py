@@ -1,0 +1,207 @@
+"""The nano-RK kernel facade.
+
+One :class:`NanoRK` per node.  It owns the scheduler, enforces RAM budgets
+for task stacks, runs admission control before activating task-sets, and
+meters network/energy reservations.  The EVM runtime drives every one of
+these interfaces at runtime -- that privileged access is exactly what makes
+it a "super task" in the paper's architecture (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.hardware.node import FireFlyNode
+from repro.net.mac.base import MacProtocol
+from repro.net.packet import Packet
+from repro.rtos.analysis import AnalysisReport, response_time_analysis
+from repro.rtos.reservations import (
+    CpuReservation,
+    EnergyReservation,
+    NetworkReservation,
+)
+from repro.rtos.scheduler import Scheduler
+from repro.rtos.task import TaskSpec, TaskState, Tcb
+from repro.sim.engine import Engine
+from repro.sim.trace import Trace
+
+
+class AdmissionRefused(RuntimeError):
+    """Raised when a task-set change fails schedulability analysis."""
+
+    def __init__(self, report: AnalysisReport) -> None:
+        super().__init__(report.reason or "task-set not schedulable")
+        self.report = report
+
+
+class NanoRK:
+    """Per-node RTOS: scheduler + memory + reservations + network metering."""
+
+    def __init__(self, engine: Engine, node: FireFlyNode,
+                 trace: Trace | None = None) -> None:
+        self.engine = engine
+        self.node = node
+        self.trace = trace
+        self.scheduler = Scheduler(
+            engine, node_id=node.node_id, battery=node.battery,
+            active_current_a=node.mcu.spec.active_current_a,
+            idle_current_a=node.mcu.spec.idle_current_a, trace=trace)
+        self.network_reservations: dict[str, NetworkReservation] = {}
+        self.energy_reservations: dict[str, EnergyReservation] = {}
+        self._net_replenish_scheduled: set[str] = set()
+        self.mac: MacProtocol | None = None
+        self.network_sends_refused = 0
+        self.crashed = False
+
+    @property
+    def node_id(self) -> str:
+        return self.node.node_id
+
+    # ------------------------------------------------------------------
+    # Task lifecycle
+    # ------------------------------------------------------------------
+    def create_task(self, spec: TaskSpec, body: Callable[[Tcb], None] | None,
+                    cpu_reservation: CpuReservation | None = None,
+                    admit: bool = True) -> Tcb:
+        """Allocate, admission-test and activate a task.
+
+        Raises :class:`AdmissionRefused` if the resulting periodic task-set
+        would not be schedulable, and :class:`MemoryExhausted` if the stack
+        does not fit RAM -- both checks the EVM relies on when placing tasks.
+        """
+        self._ensure_alive()
+        if admit and spec.period_ticks is not None:
+            report = response_time_analysis(self.scheduler.specs() + [spec])
+            if not report.schedulable:
+                if self.trace is not None:
+                    self.trace.record(self.engine.now, "rtos.admission_refused",
+                                      self.node_id, task=spec.name,
+                                      reason=report.reason)
+                raise AdmissionRefused(report)
+        self.node.mcu.ram.allocate(f"stack:{spec.name}", spec.stack_bytes)
+        tcb = Tcb(spec, body)
+        try:
+            self.scheduler.add_task(tcb, cpu_reservation)
+        except Exception:
+            self.node.mcu.ram.release(f"stack:{spec.name}")
+            raise
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "rtos.task_created",
+                              self.node_id, task=spec.name,
+                              period=spec.period_ticks, wcet=spec.wcet_ticks)
+        return tcb
+
+    def kill_task(self, name: str) -> Tcb:
+        self._ensure_alive()
+        tcb = self.scheduler.remove_task(name)
+        self.node.mcu.ram.release(f"stack:{name}")
+        self.network_reservations.pop(name, None)
+        self.energy_reservations.pop(name, None)
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "rtos.task_killed",
+                              self.node_id, task=name)
+        return tcb
+
+    def suspend_task(self, name: str) -> None:
+        self._ensure_alive()
+        self.scheduler.suspend_task(name)
+
+    def resume_task(self, name: str) -> None:
+        self._ensure_alive()
+        self.scheduler.resume_task(name)
+
+    def has_task(self, name: str) -> bool:
+        return name in self.scheduler.tasks
+
+    def task(self, name: str) -> Tcb:
+        return self.scheduler.tasks[name]
+
+    def task_names(self) -> list[str]:
+        return sorted(self.scheduler.tasks)
+
+    # ------------------------------------------------------------------
+    # Admission / analysis (EVM operation 3)
+    # ------------------------------------------------------------------
+    def analyze(self, extra: list[TaskSpec] | None = None) -> AnalysisReport:
+        """Schedulability of the current task-set (+ hypothetical extras)."""
+        return response_time_analysis(self.scheduler.specs() + (extra or []))
+
+    def can_admit(self, spec: TaskSpec) -> bool:
+        return bool(self.analyze([spec]))
+
+    # ------------------------------------------------------------------
+    # Reservations
+    # ------------------------------------------------------------------
+    def set_cpu_reservation(self, name: str,
+                            reservation: CpuReservation) -> None:
+        self._ensure_alive()
+        self.scheduler.set_cpu_reservation(name, reservation)
+
+    def set_network_reservation(self, name: str,
+                                reservation: NetworkReservation) -> None:
+        self._ensure_alive()
+        self.network_reservations[name] = reservation
+        self._schedule_net_replenish(name)
+
+    def set_energy_reservation(self, name: str,
+                               reservation: EnergyReservation) -> None:
+        self._ensure_alive()
+        self.energy_reservations[name] = reservation
+
+    def _schedule_net_replenish(self, name: str) -> None:
+        reservation = self.network_reservations.get(name)
+        if reservation is None or self.crashed:
+            return
+
+        def replenish() -> None:
+            current = self.network_reservations.get(name)
+            if current is not reservation or self.crashed:
+                return
+            reservation.replenish()
+            self.engine.schedule(reservation.period_ticks, replenish)
+
+        self.engine.schedule(reservation.period_ticks, replenish)
+
+    # ------------------------------------------------------------------
+    # Network access (metered)
+    # ------------------------------------------------------------------
+    def attach_mac(self, mac: MacProtocol) -> None:
+        self.mac = mac
+
+    def send_packet(self, task_name: str, packet: Packet) -> bool:
+        """Send on behalf of a task, enforcing its network reservation."""
+        self._ensure_alive()
+        if self.mac is None:
+            raise RuntimeError(f"node {self.node_id!r} has no MAC attached")
+        reservation = self.network_reservations.get(task_name)
+        if reservation is not None and not reservation.try_send():
+            self.network_sends_refused += 1
+            if self.trace is not None:
+                self.trace.record(self.engine.now, "rtos.net_refused",
+                                  self.node_id, task=task_name)
+            return False
+        return self.mac.send(packet)
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Hard node failure: halt scheduling, kill the radio."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.scheduler.halt()
+        self.node.fail()
+        if self.mac is not None:
+            self.mac.stop()
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "rtos.crash", self.node_id)
+
+    def _ensure_alive(self) -> None:
+        if self.crashed:
+            raise RuntimeError(f"node {self.node_id!r} has crashed")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        status = "crashed" if self.crashed else "running"
+        return (f"NanoRK({self.node_id!r}, {status}, "
+                f"tasks={self.task_names()})")

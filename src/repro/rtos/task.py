@@ -1,0 +1,137 @@
+"""Tasks and task control blocks.
+
+A :class:`TaskSpec` is the timing contract (period, WCET, deadline,
+priority); a :class:`Tcb` is the live kernel object: spec + body + execution
+state + the register/stack image.  The TCB is exactly what the EVM's task
+migration moves between nodes, so the state it carries is explicit and
+serializable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+
+class TaskState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    SLEEPING = "sleeping"      # between periodic releases
+    THROTTLED = "throttled"    # reservation budget exhausted
+    SUSPENDED = "suspended"    # explicitly paused (EVM op / backup mode)
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Timing contract for one task.
+
+    ``priority``: smaller value = higher priority (rate-monotonic order by
+    convention).  ``period_ticks=None`` declares a sporadic task released
+    only via :meth:`~repro.rtos.scheduler.Scheduler.spawn_job`.
+    ``deadline_ticks`` defaults to the period (implicit deadline).
+    """
+
+    name: str
+    wcet_ticks: int
+    period_ticks: int | None = None
+    deadline_ticks: int | None = None
+    priority: int = 10
+    offset_ticks: int = 0
+    stack_bytes: int = 256
+
+    def __post_init__(self) -> None:
+        if self.wcet_ticks <= 0:
+            raise ValueError(f"task {self.name!r}: WCET must be positive")
+        if self.period_ticks is not None and self.period_ticks <= 0:
+            raise ValueError(f"task {self.name!r}: period must be positive")
+        if (self.period_ticks is not None
+                and self.wcet_ticks > self.period_ticks):
+            raise ValueError(
+                f"task {self.name!r}: WCET {self.wcet_ticks} exceeds period "
+                f"{self.period_ticks}")
+        if self.stack_bytes <= 0:
+            raise ValueError(f"task {self.name!r}: stack must be positive")
+
+    @property
+    def effective_deadline(self) -> int:
+        if self.deadline_ticks is not None:
+            return self.deadline_ticks
+        if self.period_ticks is not None:
+            return self.period_ticks
+        raise ValueError(f"sporadic task {self.name!r} has no deadline")
+
+    @property
+    def utilization(self) -> float:
+        if self.period_ticks is None:
+            return 0.0
+        return self.wcet_ticks / self.period_ticks
+
+    def with_priority(self, priority: int) -> "TaskSpec":
+        return replace(self, priority=priority)
+
+
+class Tcb:
+    """Task control block: spec + body + live state + migratable image.
+
+    ``body`` is invoked once per job completion with the TCB itself, so task
+    logic can read and update :attr:`data` (its migratable memory).  The
+    ``registers`` dict and ``stack`` bytes stand in for the machine context
+    that real nano-RK would checkpoint; the EVM interpreter stores its VM
+    state there so migration genuinely transplants mid-computation state.
+    """
+
+    def __init__(self, spec: TaskSpec,
+                 body: Callable[["Tcb"], None] | None = None) -> None:
+        self.spec = spec
+        self.body = body
+        self.state = TaskState.SLEEPING
+        self.data: dict[str, Any] = {}
+        self.registers: dict[str, int] = {}
+        self.stack = bytearray(spec.stack_bytes)
+        self.jobs_released = 0
+        self.jobs_completed = 0
+        self.deadline_misses = 0
+        self.total_executed_ticks = 0
+        self.last_completion_time: int | None = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def snapshot_image(self) -> dict[str, Any]:
+        """The migratable task image: spec, memory, stack, registers, timing.
+
+        This is the payload of the EVM migration protocol ("task control
+        block, stack, data and timing/precedence-related metadata").
+        """
+        return {
+            "spec": self.spec,
+            "data": dict(self.data),
+            "registers": dict(self.registers),
+            "stack": bytes(self.stack),
+            "jobs_released": self.jobs_released,
+            "jobs_completed": self.jobs_completed,
+            "last_completion_time": self.last_completion_time,
+        }
+
+    def restore_image(self, image: dict[str, Any]) -> None:
+        """Adopt a migrated image (the receiving node's half of migration)."""
+        self.spec = image["spec"]
+        self.data = dict(image["data"])
+        self.registers = dict(image["registers"])
+        self.stack = bytearray(image["stack"])
+        self.jobs_released = image["jobs_released"]
+        self.jobs_completed = image["jobs_completed"]
+        self.last_completion_time = image["last_completion_time"]
+
+    def image_size_bytes(self) -> int:
+        """Approximate wire size of the migratable image."""
+        data_bytes = sum(16 + len(str(k)) + len(str(v))
+                         for k, v in self.data.items())
+        register_bytes = 8 * len(self.registers)
+        return 64 + data_bytes + register_bytes + len(self.stack)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Tcb({self.name!r}, {self.state.value})"

@@ -1,0 +1,66 @@
+"""Simulated time base.
+
+Time is an integer number of microseconds since simulation start.  Integer
+ticks keep event ordering exact (no floating-point ties) and are fine-grained
+enough for the platform effects the paper reports: sub-150 us synchronization
+jitter, 5 ms TDMA slots and 250 ms control cycles.
+"""
+
+from __future__ import annotations
+
+US = 1
+"""One microsecond, the base tick."""
+
+MS = 1_000
+"""One millisecond in ticks."""
+
+SEC = 1_000_000
+"""One second in ticks."""
+
+
+def format_time(ticks: int) -> str:
+    """Render a tick count as a human-readable time string.
+
+    >>> format_time(1_500_000)
+    '1.500000s'
+    """
+    sign = "-" if ticks < 0 else ""
+    ticks = abs(ticks)
+    return f"{sign}{ticks // SEC}.{ticks % SEC:06d}s"
+
+
+class SimClock:
+    """Monotonic simulated clock owned by the :class:`~repro.sim.engine.Engine`.
+
+    The clock only advances through the engine's event dispatch; user code
+    reads it via :attr:`now` and converts with the helpers below.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time {start}")
+        self._now = int(start)
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in ticks (microseconds)."""
+        return self._now
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulated time in seconds (float, for reporting only)."""
+        return self._now / SEC
+
+    def advance_to(self, when: int) -> None:
+        """Move the clock forward to ``when``.  Only the engine calls this."""
+        if when < self._now:
+            raise ValueError(
+                f"clock cannot move backwards: {format_time(when)} < "
+                f"{format_time(self._now)}"
+            )
+        self._now = when
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimClock({format_time(self._now)})"

@@ -1,0 +1,194 @@
+"""The discrete-event engine.
+
+A single priority queue of ``(time, priority, sequence, callback)`` entries.
+Entries at equal times dispatch in ``(priority, insertion order)`` -- a
+deterministic tie-break that higher layers rely on (e.g. the RTOS releases
+jobs *before* the scheduler decision event in the same tick by scheduling the
+release with a lower priority number).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.sim.clock import SimClock, format_time
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (scheduling in the past, etc.)."""
+
+
+class EventHandle:
+    """Cancellation token returned by :meth:`Engine.schedule`.
+
+    Cancellation is lazy: the queue entry stays in the heap but is skipped at
+    dispatch time.  ``cancel()`` is idempotent.
+    """
+
+    __slots__ = ("when", "callback", "args", "cancelled", "dispatched")
+
+    def __init__(self, when: int, callback: Callable[..., Any], args: tuple) -> None:
+        self.when = when
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.dispatched = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and neither fired nor cancelled."""
+        return not (self.cancelled or self.dispatched)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else (
+            "dispatched" if self.dispatched else "pending")
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"EventHandle({format_time(self.when)}, {name}, {state})"
+
+
+class Engine:
+    """Deterministic discrete-event loop with an integer-microsecond clock."""
+
+    def __init__(self, start: int = 0) -> None:
+        self.clock = SimClock(start)
+        self._queue: list[tuple[int, int, int, EventHandle]] = []
+        self._seq = 0
+        self._running = False
+        self._dispatched_count = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` ticks from now.
+
+        ``priority`` breaks same-tick ties: lower values dispatch first.
+        Returns an :class:`EventHandle` that can cancel the event.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ticks in the past")
+        return self.schedule_at(self.clock.now + delay, callback, *args,
+                                priority=priority)
+
+    def schedule_at(
+        self,
+        when: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        if when < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule at {format_time(when)}, now is "
+                f"{format_time(self.clock.now)}"
+            )
+        handle = EventHandle(when, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, (when, priority, self._seq, handle))
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in ticks."""
+        return self.clock.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for *_rest, h in self._queue if not h.cancelled)
+
+    @property
+    def dispatched_count(self) -> int:
+        """Total events dispatched since construction (for overhead benches)."""
+        return self._dispatched_count
+
+    def step(self) -> bool:
+        """Dispatch the single next event.  Returns False if queue is empty."""
+        while self._queue:
+            when, _prio, _seq, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self.clock.advance_to(when)
+            handle.dispatched = True
+            self._dispatched_count += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until the queue drains (or ``max_events`` dispatches).
+
+        Returns the number of events dispatched.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        dispatched = 0
+        try:
+            while self.step():
+                dispatched += 1
+                if max_events is not None and dispatched >= max_events:
+                    break
+        finally:
+            self._running = False
+        return dispatched
+
+    def run_until(self, when: int) -> int:
+        """Run events with timestamps ``<= when``; clock lands exactly on it.
+
+        Returns the number of events dispatched.  Events scheduled beyond
+        ``when`` remain queued for a later call.
+        """
+        if when < self.clock.now:
+            raise SimulationError(
+                f"run_until({format_time(when)}) is in the past "
+                f"(now {format_time(self.clock.now)})"
+            )
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        dispatched = 0
+        try:
+            while self._queue:
+                next_when = self._next_live_time()
+                if next_when is None or next_when > when:
+                    break
+                self.step()
+                dispatched += 1
+            self.clock.advance_to(when)
+        finally:
+            self._running = False
+        return dispatched
+
+    def run_for(self, duration: int) -> int:
+        """Run for ``duration`` ticks of simulated time from now."""
+        return self.run_until(self.clock.now + duration)
+
+    def _next_live_time(self) -> int | None:
+        """Peek the timestamp of the next non-cancelled event, pruning dead ones."""
+        while self._queue:
+            when, _prio, _seq, handle = self._queue[0]
+            if handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return when
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Engine(now={format_time(self.clock.now)}, "
+                f"pending={self.pending_events})")

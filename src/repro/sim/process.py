@@ -1,0 +1,207 @@
+"""Generator-based simulation processes.
+
+Long-lived stateful behaviours (MAC state machines, the EVM runtime loop,
+plant polling) read naturally as generators that yield *wait requests*:
+
+    def sender(node):
+        while True:
+            yield Delay(100 * MS)
+            node.radio.transmit(...)
+            got = yield WaitSignal(node.ack_signal, timeout=20 * MS)
+
+A :class:`Process` drives such a generator on the engine.  Two wait request
+types are supported:
+
+- :class:`Delay` -- resume after a fixed number of ticks;
+- :class:`WaitSignal` -- resume when a :class:`Signal` fires (the ``yield``
+  evaluates to the signal payload) or when the optional timeout elapses
+  (the ``yield`` evaluates to :data:`TIMEOUT`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from repro.sim.engine import Engine, EventHandle, SimulationError
+
+
+class _Timeout:
+    """Sentinel returned from ``yield WaitSignal(...)`` on timeout."""
+
+    def __repr__(self) -> str:
+        return "TIMEOUT"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+TIMEOUT = _Timeout()
+
+
+class Delay:
+    """Wait request: resume the process after ``ticks`` of simulated time."""
+
+    __slots__ = ("ticks",)
+
+    def __init__(self, ticks: int) -> None:
+        if ticks < 0:
+            raise ValueError(f"negative delay {ticks}")
+        self.ticks = int(ticks)
+
+
+class Signal:
+    """A broadcast waitable: processes and callbacks wake when it fires.
+
+    Unlike a queue, a signal does not buffer: a ``fire`` wakes exactly the
+    waiters registered at that moment.  ``name`` is for traces and debugging.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: list[Callable[[Any], None]] = []
+        self.fire_count = 0
+        self.last_payload: Any = None
+
+    def wait(self, callback: Callable[[Any], None]) -> Callable[[], None]:
+        """Register ``callback(payload)`` for the next firing.
+
+        Returns an unsubscribe function (idempotent).
+        """
+        self._waiters.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._waiters.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def fire(self, payload: Any = None) -> int:
+        """Wake all current waiters with ``payload``; returns waiter count."""
+        self.fire_count += 1
+        self.last_payload = payload
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback(payload)
+        return len(waiters)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"
+
+
+class WaitSignal:
+    """Wait request: resume when ``signal`` fires, or after ``timeout`` ticks.
+
+    With a timeout, the yield expression evaluates to :data:`TIMEOUT` if the
+    timeout won the race, otherwise to the signal payload.
+    """
+
+    __slots__ = ("signal", "timeout")
+
+    def __init__(self, signal: Signal, timeout: int | None = None) -> None:
+        if timeout is not None and timeout < 0:
+            raise ValueError(f"negative timeout {timeout}")
+        self.signal = signal
+        self.timeout = timeout
+
+
+class Process:
+    """Drives a generator of wait requests on an :class:`Engine`.
+
+    The process starts on the next engine dispatch (never synchronously), so
+    construction order in user code does not affect event order subtleties.
+    """
+
+    def __init__(self, engine: Engine, generator: Generator, name: str = "") -> None:
+        self.engine = engine
+        self.name = name or getattr(generator, "__name__", "process")
+        self._gen = generator
+        self.alive = True
+        self.result: Any = None
+        self._pending_event: EventHandle | None = None
+        self._unsubscribe: Callable[[], None] | None = None
+        self._pending_event = engine.schedule(0, self._resume, None)
+
+    def kill(self) -> None:
+        """Stop the process; its generator is closed and never resumed."""
+        if not self.alive:
+            return
+        self.alive = False
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        self._gen.close()
+
+    def _resume(self, value: Any) -> None:
+        if not self.alive:
+            return
+        self._pending_event = None
+        self._unsubscribe = None
+        try:
+            request = self._gen.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            return
+        self._arm(request)
+
+    def _arm(self, request: Any) -> None:
+        if isinstance(request, Delay):
+            self._pending_event = self.engine.schedule(
+                request.ticks, self._resume, None)
+        elif isinstance(request, WaitSignal):
+            self._arm_wait_signal(request)
+        else:
+            self.alive = False
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported request "
+                f"{request!r}; expected Delay or WaitSignal"
+            )
+
+    def _arm_wait_signal(self, request: WaitSignal) -> None:
+        resumed = False
+
+        def on_signal(payload: Any) -> None:
+            nonlocal resumed
+            if resumed:
+                return
+            resumed = True
+            if self._pending_event is not None:
+                self._pending_event.cancel()
+                self._pending_event = None
+            # Resume on the engine to avoid re-entrant generator sends when
+            # a signal fires from within this same process's call stack.
+            self._pending_event = self.engine.schedule(0, self._resume, payload)
+
+        self._unsubscribe = request.signal.wait(on_signal)
+
+        if request.timeout is not None:
+            def on_timeout() -> None:
+                nonlocal resumed
+                if resumed:
+                    return
+                resumed = True
+                if self._unsubscribe is not None:
+                    self._unsubscribe()
+                    self._unsubscribe = None
+                self._resume(TIMEOUT)
+
+            self._pending_event = self.engine.schedule(
+                request.timeout, on_timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "dead"
+        return f"Process({self.name!r}, {state})"
+
+
+def spawn_all(engine: Engine, generators: Iterable[Generator]) -> list[Process]:
+    """Convenience: start a process per generator, in order."""
+    return [Process(engine, gen) for gen in generators]

@@ -1,0 +1,120 @@
+"""Structured event tracing.
+
+Experiments, benchmarks and tests assert on traces rather than poking at
+internal state: each subsystem records ``TraceEvent`` rows (time, category,
+source, payload) and analysis code filters/aggregates them afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.sim.clock import format_time
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence.
+
+    ``category`` is a dotted namespace such as ``"mac.tx"`` or
+    ``"evm.failover.activate"``; ``source`` identifies the emitting entity
+    (usually a node id); ``data`` is a small dict of primitives.
+    """
+
+    time: int
+    category: str
+    source: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return (f"[{format_time(self.time)}] {self.category} "
+                f"src={self.source} {self.data}")
+
+
+class Trace:
+    """Append-only event log with filtered views.
+
+    A ``Trace`` may be shared by the whole simulation; categories keep
+    subsystems separable.  Optional live subscribers receive each event as it
+    is recorded (used by fault detectors that watch actuation outputs).
+    """
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+        self._subscribers: list[Callable[[TraceEvent], None]] = []
+
+    def record(self, time: int, category: str, source: str,
+               **data: Any) -> TraceEvent:
+        """Append an event and notify live subscribers."""
+        event = TraceEvent(time=time, category=category, source=source,
+                           data=data)
+        self._events.append(event)
+        for subscriber in list(self._subscribers):
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[TraceEvent], None]) -> Callable[[], None]:
+        """Receive every future event; returns an unsubscribe function."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self, category: str | None = None, source: str | None = None,
+               since: int | None = None, until: int | None = None,
+               ) -> list[TraceEvent]:
+        """Events filtered by category prefix, source and time window."""
+        out = []
+        for event in self._events:
+            if category is not None and not event.category.startswith(category):
+                continue
+            if source is not None and event.source != source:
+                continue
+            if since is not None and event.time < since:
+                continue
+            if until is not None and event.time > until:
+                continue
+            out.append(event)
+        return out
+
+    def count(self, category: str | None = None, source: str | None = None) -> int:
+        return len(self.events(category=category, source=source))
+
+    def series(self, category: str, key: str,
+               source: str | None = None) -> list[tuple[int, Any]]:
+        """(time, data[key]) pairs for events in ``category`` -- a time series."""
+        return [(e.time, e.data[key])
+                for e in self.events(category=category, source=source)
+                if key in e.data]
+
+    def last(self, category: str, source: str | None = None) -> TraceEvent | None:
+        matches = self.events(category=category, source=source)
+        return matches[-1] if matches else None
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def dump(self, categories: Iterable[str] | None = None) -> str:
+        """Multi-line human-readable rendering (debugging aid)."""
+        rows = []
+        for event in self._events:
+            if categories is not None and not any(
+                    event.category.startswith(c) for c in categories):
+                continue
+            rows.append(str(event))
+        return "\n".join(rows)

@@ -1,0 +1,26 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hardware.node import FireFlyNode
+from repro.sim.engine import Engine
+from repro.sim.trace import Trace
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def trace() -> Trace:
+    return Trace()
+
+
+@pytest.fixture
+def node(engine) -> FireFlyNode:
+    return FireFlyNode(engine, "n1", rng=random.Random(42))

@@ -1,0 +1,157 @@
+"""Bytecode: instruction validation, assembler, wire format round-trips."""
+
+import pytest
+
+from repro.evm.bytecode import (
+    Assembler,
+    AssemblyError,
+    Instruction,
+    Opcode,
+    Program,
+)
+
+
+class TestInstruction:
+    def test_argless_rejects_argument(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, 1)
+
+    def test_int_arg_required(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JMP, None)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JMP, -1)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LOAD, 1.5)
+
+    def test_push_numeric(self):
+        assert Instruction(Opcode.PUSH, 2.5).arg == 2.5
+        with pytest.raises(ValueError):
+            Instruction(Opcode.PUSH, None)
+
+    def test_str_rendering(self):
+        assert str(Instruction(Opcode.ADD)) == "add"
+        assert str(Instruction(Opcode.PUSH, 1.5)) == "push 1.5"
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        program = Assembler().assemble("""
+            .name demo
+            push 1.0
+            push 2.0
+            add
+            store 0
+            halt
+        """)
+        assert program.name == "demo"
+        assert [i.opcode for i in program.instructions] == [
+            Opcode.PUSH, Opcode.PUSH, Opcode.ADD, Opcode.STORE, Opcode.HALT]
+
+    def test_labels_resolve(self):
+        program = Assembler().assemble("""
+            start:
+                load 0
+                jz end
+                jmp start
+            end:
+                halt
+        """)
+        assert program.instructions[1] == Instruction(Opcode.JZ, 3)
+        assert program.instructions[2] == Instruction(Opcode.JMP, 0)
+
+    def test_comments_ignored(self):
+        program = Assembler().assemble("""
+            push 1.0   ; inline comment
+            # whole-line comment
+            halt
+        """)
+        assert len(program) == 2
+
+    def test_channel_host_word_tables(self):
+        program = Assembler().assemble("""
+            .channel level
+            .host get_time
+            .word square
+            in level
+            host get_time
+            word square
+            out level
+            halt
+        """)
+        assert program.channels == ("level",)
+        assert program.host_names == ("get_time",)
+        assert program.word_names == ("square",)
+        assert program.instructions[0] == Instruction(Opcode.IN, 0)
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            Assembler().assemble("frobnicate 3")
+
+    def test_unknown_label(self):
+        with pytest.raises(AssemblyError):
+            Assembler().assemble("jmp nowhere")
+
+    def test_undeclared_channel(self):
+        with pytest.raises(AssemblyError):
+            Assembler().assemble("in level")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            Assembler().assemble("x: nop\nx: halt")
+
+    def test_missing_operand(self):
+        with pytest.raises(AssemblyError):
+            Assembler().assemble("push")
+
+    def test_operand_on_argless(self):
+        with pytest.raises(AssemblyError):
+            Assembler().assemble("add 3")
+
+
+class TestWireFormat:
+    def _programs(self):
+        asm = Assembler()
+        yield asm.assemble(".name empty\nhalt")
+        yield asm.assemble("""
+            .name rich
+            .channel a
+            .channel b
+            .host h1
+            .word w1
+            top:
+                push -12.5
+                load 3
+                in a
+                out b
+                host h1
+                word w1
+                jz top
+                call 0
+                ret
+                halt
+        """)
+
+    def test_roundtrip(self):
+        for program in self._programs():
+            assert Program.decode(program.encode()) == program
+
+    def test_push_constants_are_float32(self):
+        program = Assembler().assemble("push 0.1\nhalt")
+        decoded = Program.decode(program.encode())
+        import struct
+
+        expected = struct.unpack(">f", struct.pack(">f", 0.1))[0]
+        assert decoded.instructions[0].arg == expected
+
+    def test_encoding_is_compact(self):
+        program = Assembler().assemble("\n".join(["nop"] * 50) + "\nhalt")
+        # header + 51 one-byte instructions
+        assert program.size_bytes < 80
+
+    def test_disassemble_reassembles(self):
+        for program in self._programs():
+            listing = program.disassemble()
+            again = Assembler().assemble(listing, name=program.name)
+            assert again.instructions == program.instructions
+            assert again.channels == program.channels

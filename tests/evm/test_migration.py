@@ -1,0 +1,179 @@
+"""Migration protocol over a loopback message fabric (no radio)."""
+
+import pytest
+
+from repro.evm.migration import (
+    FRAGMENT_BYTES,
+    MigrationManager,
+    decode_value,
+    encode_value,
+)
+from repro.rtos.task import TaskSpec, Tcb
+from repro.sim.clock import MS, SEC
+from repro.sim.engine import Engine
+
+
+class _Fabric:
+    """Delivers messages between managers with a configurable drop filter."""
+
+    def __init__(self, engine, latency=1 * MS):
+        self.engine = engine
+        self.latency = latency
+        self.managers = {}
+        self.drop = lambda dst, kind, payload: False
+        self.log = []
+
+    def sender_for(self, src):
+        def send(dst, kind, payload, size_bytes):
+            self.log.append((src, dst, kind))
+            if self.drop(dst, kind, payload):
+                return True  # lost in flight
+            self.engine.schedule(
+                self.latency,
+                lambda: self.managers[dst].handle_message(src, kind,
+                                                          payload))
+            return True
+
+        return send
+
+
+def make_pair(engine, accept=(True, ""), install_ok=(True, "")):
+    fabric = _Fabric(engine)
+    installed = []
+
+    def can_accept(src, spec, caps):
+        return accept
+
+    def install(image):
+        installed.append(image)
+        return install_ok
+
+    src_mgr = MigrationManager(engine, "src", fabric.sender_for("src"),
+                               can_accept=lambda *a: (False, "n/a"),
+                               install=lambda *a: (False, "n/a"),
+                               timeout_ticks=5 * SEC)
+    dst_mgr = MigrationManager(engine, "dst", fabric.sender_for("dst"),
+                               can_accept=can_accept, install=install,
+                               timeout_ticks=5 * SEC)
+    fabric.managers = {"src": src_mgr, "dst": dst_mgr}
+    return fabric, src_mgr, dst_mgr, installed
+
+
+def make_image(stack_bytes=256, data=None):
+    spec = TaskSpec("ctrl", wcet_ticks=2 * MS, period_ticks=250 * MS,
+                    stack_bytes=stack_bytes)
+    tcb = Tcb(spec)
+    tcb.data.update(data or {"memory": [1.0, 2.0, 3.0], "mode": "active"})
+    tcb.registers["pc"] = 17
+    return tcb.snapshot_image()
+
+
+class TestHappyPath:
+    def test_image_transferred_and_installed(self, engine):
+        fabric, src, dst, installed = make_pair(engine)
+        outcomes = []
+        image = make_image()
+        src.initiate(image, "dst", on_done=outcomes.append)
+        engine.run_until(1 * SEC)
+        assert len(installed) == 1
+        assert installed[0]["data"]["memory"] == [1.0, 2.0, 3.0]
+        assert installed[0]["registers"]["pc"] == 17
+        assert outcomes[0].ok
+
+    def test_fragmentation(self, engine):
+        fabric, src, dst, installed = make_pair(engine)
+        image = make_image(stack_bytes=1024)
+        src.initiate(image, "dst")
+        engine.run_until(1 * SEC)
+        frags = [entry for entry in fabric.log if entry[2] == "evm.mig.frag"]
+        blob_len = len(encode_value(image))
+        assert len(frags) == -(-blob_len // FRAGMENT_BYTES)
+        assert len(installed) == 1
+
+    def test_outcome_metrics(self, engine):
+        fabric, src, dst, installed = make_pair(engine)
+        outcomes = []
+        src.initiate(make_image(), "dst", on_done=outcomes.append)
+        engine.run_until(1 * SEC)
+        outcome = outcomes[0]
+        assert outcome.bytes_sent > 0
+        assert outcome.fragments > 0
+        assert outcome.duration_ticks > 0
+
+
+class TestRejection:
+    def test_capability_rejection(self, engine):
+        fabric, src, dst, installed = make_pair(
+            engine, accept=(False, "missing capabilities"))
+        outcomes = []
+        src.initiate(make_image(), "dst", on_done=outcomes.append)
+        engine.run_until(1 * SEC)
+        assert not outcomes[0].ok
+        assert "capabilities" in outcomes[0].reason
+        assert installed == []
+
+    def test_install_failure_reported(self, engine):
+        fabric, src, dst, installed = make_pair(
+            engine, install_ok=(False, "admission failed"))
+        outcomes = []
+        src.initiate(make_image(), "dst", on_done=outcomes.append)
+        engine.run_until(1 * SEC)
+        assert not outcomes[0].ok
+        assert "admission" in outcomes[0].reason
+
+
+class TestLossRecovery:
+    def test_nack_recovers_lost_fragments(self, engine):
+        fabric, src, dst, installed = make_pair(engine)
+        dropped = {"count": 0}
+
+        def drop(dst_id, kind, payload):
+            # Lose the first two non-final fragments once.
+            if (kind == "evm.mig.frag" and dropped["count"] < 2
+                    and payload["index"] < payload["total"] - 1):
+                dropped["count"] += 1
+                return True
+            return False
+
+        fabric.drop = drop
+        outcomes = []
+        src.initiate(make_image(stack_bytes=512), "dst",
+                     on_done=outcomes.append)
+        engine.run_until(2 * SEC)
+        assert dropped["count"] == 2
+        assert outcomes[0].ok
+        assert len(installed) == 1
+        nacks = [e for e in fabric.log if e[2] == "evm.mig.nack"]
+        assert len(nacks) >= 1
+
+    def test_timeout_when_destination_silent(self, engine):
+        fabric, src, dst, installed = make_pair(engine)
+        fabric.drop = lambda dst_id, kind, payload: kind == "evm.mig.request"
+        outcomes = []
+        src.initiate(make_image(), "dst", on_done=outcomes.append)
+        engine.run_until(10 * SEC)
+        assert not outcomes[0].ok
+        assert outcomes[0].reason == "timeout"
+
+    def test_corrupted_fragment_fails_attestation(self, engine):
+        fabric, src, dst, installed = make_pair(engine)
+
+        original_sender = fabric.sender_for("src")
+        src.send = lambda dst_id, kind, payload, size: (
+            original_sender(dst_id, kind,
+                            _corrupt(kind, payload), size))
+        outcomes = []
+        src.initiate(make_image(), "dst", on_done=outcomes.append)
+        engine.run_until(10 * SEC)
+        assert not outcomes[0].ok
+        assert "attestation" in outcomes[0].reason
+        assert installed == []
+
+
+def _corrupt(kind, payload):
+    if kind == "evm.mig.frag" and payload["index"] == 0:
+        chunk = bytearray(payload["chunk"])
+        chunk[-1] ^= 0xFF
+        payload = dict(payload)
+        payload["chunk"] = bytes(chunk)
+    return payload

@@ -1,0 +1,162 @@
+"""BQP assignment optimizer and greedy baseline."""
+
+import pytest
+
+from repro.evm.optimizer import (
+    INFEASIBLE,
+    AssignmentProblem,
+    bqp_assign,
+    evaluate,
+    greedy_assign,
+)
+from repro.evm.tasks import LogicalTask
+from repro.evm.virtual_component import VcMember
+from repro.sim.clock import MS
+
+
+def task(name, util=0.1, caps=frozenset()):
+    period = 100 * MS
+    return LogicalTask(name=name, program_name="law",
+                       period_ticks=period,
+                       wcet_ticks=max(1, int(period * util)),
+                       required_capabilities=caps)
+
+
+def member(node_id, capacity=0.5, caps=frozenset({"controller"}),
+           healthy=True):
+    m = VcMember(node_id, caps, cpu_capacity=capacity)
+    m.healthy = healthy
+    return m
+
+
+class TestEvaluate:
+    def test_infeasible_when_capability_missing(self):
+        problem = AssignmentProblem(
+            tasks=[task("t", caps=frozenset({"dsp"}))],
+            nodes=[member("n")])
+        assert evaluate(problem, {"t": "n"}) == INFEASIBLE
+
+    def test_infeasible_when_over_capacity(self):
+        problem = AssignmentProblem(
+            tasks=[task("a", util=0.3), task("b", util=0.3)],
+            nodes=[member("n", capacity=0.5)])
+        assert evaluate(problem, {"a": "n", "b": "n"}) == INFEASIBLE
+
+    def test_traffic_cost_scales_with_hops(self):
+        problem = AssignmentProblem(
+            tasks=[task("a"), task("b")],
+            nodes=[member("n1"), member("n2")],
+            traffic={("a", "b"): 2.0},
+            hops={("n1", "n2"): 3})
+        colocated = evaluate(problem, {"a": "n1", "b": "n1"})
+        spread = evaluate(problem, {"a": "n1", "b": "n2"})
+        assert colocated == 0.0
+        assert spread == 6.0
+
+    def test_unhealthy_node_infeasible(self):
+        problem = AssignmentProblem(
+            tasks=[task("t")], nodes=[member("n", healthy=False)])
+        assert evaluate(problem, {"t": "n"}) == INFEASIBLE
+
+
+class TestGreedy:
+    def test_respects_capacity(self):
+        problem = AssignmentProblem(
+            tasks=[task(f"t{i}", util=0.3) for i in range(3)],
+            nodes=[member("n1", capacity=0.65),
+                   member("n2", capacity=0.65)])
+        result = greedy_assign(problem)
+        assert result.feasible
+        loads = {}
+        for name, node in result.placement.items():
+            loads[node] = loads.get(node, 0) + 0.3
+        assert all(load <= 0.65 for load in loads.values())
+
+    def test_reports_infeasible(self):
+        problem = AssignmentProblem(
+            tasks=[task("t", util=0.9)],
+            nodes=[member("n", capacity=0.5)])
+        result = greedy_assign(problem)
+        assert not result.feasible
+
+    def test_respects_capabilities(self):
+        problem = AssignmentProblem(
+            tasks=[task("sense", caps=frozenset({"sensor"}))],
+            nodes=[member("plain"),
+                   member("sensing", caps=frozenset({"controller",
+                                                     "sensor"}))])
+        result = greedy_assign(problem)
+        assert result.placement["sense"] == "sensing"
+
+
+class TestBqp:
+    def test_exact_finds_optimum_colocate(self):
+        """Heavy traffic: optimal placement co-locates the pair."""
+        problem = AssignmentProblem(
+            tasks=[task("a", util=0.2), task("b", util=0.2)],
+            nodes=[member("n1"), member("n2")],
+            traffic={("a", "b"): 10.0},
+            hops={("n1", "n2"): 2})
+        result = bqp_assign(problem)
+        assert result.method == "bqp-exact"
+        assert result.placement["a"] == result.placement["b"]
+        assert result.cost == 0.0
+
+    def test_exact_spreads_when_capacity_forces(self):
+        problem = AssignmentProblem(
+            tasks=[task("a", util=0.4), task("b", util=0.4)],
+            nodes=[member("n1", capacity=0.5), member("n2", capacity=0.5)],
+            traffic={("a", "b"): 10.0})
+        result = bqp_assign(problem)
+        assert result.feasible
+        assert result.placement["a"] != result.placement["b"]
+
+    def test_bqp_never_worse_than_greedy(self):
+        """On a batch of randomized instances the optimizer dominates."""
+        import random
+
+        rng = random.Random(11)
+        for trial in range(10):
+            tasks = [task(f"t{i}", util=rng.choice([0.1, 0.2, 0.3]))
+                     for i in range(4)]
+            nodes = [member(f"n{j}", capacity=rng.choice([0.4, 0.6, 0.8]))
+                     for j in range(3)]
+            traffic = {}
+            for i, a in enumerate(tasks):
+                for b in tasks[i + 1:]:
+                    if rng.random() < 0.6:
+                        traffic[(a.name, b.name)] = rng.uniform(0.5, 4.0)
+            hops = {("n0", "n1"): 1, ("n0", "n2"): 2, ("n1", "n2"): 1}
+            problem = AssignmentProblem(tasks=tasks, nodes=nodes,
+                                        traffic=traffic, hops=hops)
+            exact = bqp_assign(problem)
+            baseline = greedy_assign(problem)
+            if baseline.feasible:
+                assert exact.cost <= baseline.cost + 1e-9
+
+    def test_local_search_on_large_instance(self):
+        tasks = [task(f"t{i}", util=0.05) for i in range(12)]
+        nodes = [member(f"n{j}", capacity=0.4) for j in range(8)]
+        traffic = {(f"t{i}", f"t{i + 1}"): 2.0 for i in range(11)}
+        problem = AssignmentProblem(tasks=tasks, nodes=nodes,
+                                    traffic=traffic)
+        result = bqp_assign(problem, exact_limit=1000)
+        assert result.method == "bqp-local"
+        assert result.feasible
+        baseline = greedy_assign(problem)
+        assert result.cost <= baseline.cost + 1e-9
+
+    def test_infeasible_instance(self):
+        problem = AssignmentProblem(
+            tasks=[task("t", caps=frozenset({"impossible"}))],
+            nodes=[member("n")])
+        result = bqp_assign(problem)
+        assert not result.feasible
+
+    def test_affinity_steers_placement(self):
+        problem = AssignmentProblem(
+            tasks=[task("t")],
+            nodes=[member("near"), member("far")],
+            affinity={("t", "far"): 5.0})
+        result = bqp_assign(problem)
+        assert result.placement["t"] == "near"

@@ -1,0 +1,151 @@
+"""Property-based tests for EVM data-plane invariants.
+
+- assembler/disassembler and encode/decode round-trips over arbitrary
+  well-formed programs;
+- the migration image codec round-trips arbitrary value trees;
+- attestation detects any single-byte corruption;
+- the compiled control law matches the reference implementation on
+  arbitrary measurement sequences.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.control.controller import ControlLawConfig, FilteredPidController
+from repro.evm.attestation import attest_digest, verify_attestation
+from repro.evm.bytecode import Assembler, Instruction, Opcode, Program
+from repro.evm.interpreter import Interpreter
+from repro.evm.migration import decode_value, encode_value
+from repro.rtos.task import TaskSpec
+
+# ----------------------------------------------------------------------
+# Program round-trips
+# ----------------------------------------------------------------------
+_ARGLESS = [Opcode.NOP, Opcode.DUP, Opcode.DROP, Opcode.SWAP, Opcode.ADD,
+            Opcode.SUB, Opcode.MUL, Opcode.MIN, Opcode.MAX, Opcode.RET]
+
+
+@st.composite
+def programs(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    instructions = []
+    for _ in range(n):
+        kind = draw(st.integers(min_value=0, max_value=3))
+        if kind == 0:
+            instructions.append(Instruction(draw(st.sampled_from(_ARGLESS))))
+        elif kind == 1:
+            value = draw(st.floats(min_value=-1e6, max_value=1e6,
+                                   allow_nan=False, width=32))
+            instructions.append(Instruction(Opcode.PUSH, value))
+        elif kind == 2:
+            instructions.append(Instruction(
+                draw(st.sampled_from([Opcode.LOAD, Opcode.STORE])),
+                draw(st.integers(min_value=0, max_value=63))))
+        else:
+            instructions.append(Instruction(
+                draw(st.sampled_from([Opcode.JMP, Opcode.JZ])),
+                draw(st.integers(min_value=0, max_value=n))))
+    instructions.append(Instruction(Opcode.HALT))
+    return Program(name=draw(st.text(
+        alphabet="abcdefghij_", min_size=1, max_size=12)),
+        instructions=tuple(instructions))
+
+
+@settings(max_examples=100, deadline=None)
+@given(programs())
+def test_encode_decode_roundtrip(program):
+    assert Program.decode(program.encode()) == program
+
+
+@settings(max_examples=50, deadline=None)
+@given(programs())
+def test_disassemble_reassemble_roundtrip(program):
+    listing = program.disassemble()
+    again = Assembler().assemble(listing, name=program.name)
+    assert again.instructions == program.instructions
+
+
+# ----------------------------------------------------------------------
+# Image codec
+# ----------------------------------------------------------------------
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-2**62, max_value=2**62),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_values)
+def test_image_codec_roundtrip(value):
+    assert decode_value(encode_value(value)) == value
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=10_000),
+       st.integers(min_value=2, max_value=20_000))
+def test_image_codec_taskspec(wcet, extra):
+    spec = TaskSpec("t", wcet_ticks=wcet, period_ticks=wcet + extra,
+                    priority=3, stack_bytes=128)
+    assert decode_value(encode_value(spec)) == spec
+
+
+# ----------------------------------------------------------------------
+# Attestation
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(st.binary(min_size=1, max_size=512),
+       st.binary(min_size=1, max_size=16),
+       st.integers(min_value=0))
+def test_attestation_detects_single_byte_corruption(image, nonce, index):
+    digest = attest_digest(image, nonce)
+    assert verify_attestation(image, nonce, digest)
+    corrupted = bytearray(image)
+    corrupted[index % len(image)] ^= 0xFF
+    assert not verify_attestation(bytes(corrupted), nonce, digest)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(min_size=1, max_size=128),
+       st.binary(min_size=1, max_size=8),
+       st.binary(min_size=1, max_size=8))
+def test_attestation_nonce_binding(image, nonce_a, nonce_b):
+    if nonce_a == nonce_b:
+        return
+    digest = attest_digest(image, nonce_a)
+    assert not verify_attestation(image, nonce_b, digest)
+
+
+# ----------------------------------------------------------------------
+# Compiled control law equivalence
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False), min_size=1, max_size=60),
+       st.floats(min_value=0.5, max_value=5.0),
+       st.floats(min_value=0.01, max_value=0.2))
+def test_bytecode_matches_reference(measurements, kp, ki):
+    config = ControlLawConfig(kp=kp, ki=ki, kd=0.05, dt_sec=0.25,
+                              setpoint=50.0, filter_cutoff_hz=0.4)
+    program = config.compile("law")
+    reference = FilteredPidController(config)
+    interp = Interpreter()
+    memory = list(reference.memory)
+    for x in measurements:
+        expected = reference.step(x)
+        memory[0] = x
+        interp.execute(program, memory)
+        assert math.isclose(memory[1], expected, rel_tol=1e-9, abs_tol=1e-9)

@@ -1,0 +1,70 @@
+"""CSV artifact writers round-trip the experiment results."""
+
+import pytest
+
+from repro.experiments.fig6 import Fig6Result
+from repro.experiments.mac_comparison import MacTrialResult
+from repro.experiments.report import (
+    read_csv,
+    write_fig6_events,
+    write_fig6_series,
+    write_mac_sweep,
+)
+
+
+def small_fig6_result() -> Fig6Result:
+    result = Fig6Result(
+        times_sec=[1.0, 2.0, 3.0],
+        lts_level_pct=[50.0, 49.5, 10.0],
+        sep_liq_flow=[6.5, 6.4, 4.0],
+        lts_liq_flow=[12.7, 12.6, 60.0],
+        tower_feed_flow=[19.2, 19.0, 64.0],
+        valve_pct=[11.5, 11.5, 75.0],
+        active_controller=["ctrl_a", "ctrl_a", "ctrl_a"],
+    )
+    result.detection_time_sec = 2.5
+    result.failover_time_sec = 2.9
+    result.pre_fault_level = 50.0
+    result.min_level = 10.0
+    return result
+
+
+class TestFig6Artifacts:
+    def test_series_roundtrip(self, tmp_path):
+        result = small_fig6_result()
+        path = write_fig6_series(result, tmp_path / "fig6.csv")
+        rows = read_csv(path)
+        assert len(rows) == 3
+        assert float(rows[2]["lts_level_pct"]) == 10.0
+        assert rows[0]["active_controller"] == "ctrl_a"
+
+    def test_events_table(self, tmp_path):
+        result = small_fig6_result()
+        path = write_fig6_events(result, tmp_path / "events.csv")
+        rows = {r["quantity"]: r["value"] for r in read_csv(path)}
+        assert float(rows["detection_time_sec"]) == 2.5
+        assert float(rows["min_level"]) == 10.0
+        assert rows["dormant_time_sec"] in ("", "None")
+
+
+class TestMacSweepArtifact:
+    def test_sweep_table(self, tmp_path):
+        results = {
+            "rtlink": [MacTrialResult(
+                protocol="rtlink", duty_target_pct=5.0,
+                event_period_sec=2.0, lifetime_years=6.4,
+                avg_current_ma=0.046, radio_duty_pct=0.07,
+                delivery_ratio=0.99, mean_latency_ms=52.3, collisions=0)],
+            "bmac": [MacTrialResult(
+                protocol="bmac", duty_target_pct=5.0,
+                event_period_sec=2.0, lifetime_years=0.11,
+                avg_current_ma=2.6, radio_duty_pct=13.8,
+                delivery_ratio=0.99, mean_latency_ms=62.4, collisions=0)],
+        }
+        path = write_mac_sweep(results, tmp_path / "sweep.csv")
+        rows = read_csv(path)
+        assert len(rows) == 2
+        by_protocol = {r["protocol"]: r for r in rows}
+        assert float(by_protocol["rtlink"]["lifetime_years"]) == \
+            pytest.approx(6.4)
+        assert int(by_protocol["bmac"]["collisions"]) == 0

@@ -1,0 +1,102 @@
+"""AM time synchronization: jitter bounds, drift, misses (claim F2)."""
+
+import random
+
+import pytest
+
+from repro.hardware.timesync import AmTimeSync, NodeClock, TimeSyncSpec
+from repro.sim.clock import MS, SEC, US
+
+
+class TestNodeClock:
+    def test_perfect_clock_tracks_global(self, engine):
+        clock = NodeClock(engine, drift_ppm=0.0)
+        engine.schedule(SEC, lambda: None)
+        engine.run()
+        assert clock.local_time() == engine.now
+        assert clock.offset_error() == 0
+
+    def test_drift_accumulates(self, engine):
+        clock = NodeClock(engine, drift_ppm=100.0)
+        engine.schedule(10 * SEC, lambda: None)
+        engine.run()
+        # 100 ppm over 10 s = 1 ms fast
+        assert clock.offset_error() == pytest.approx(1000, abs=2)
+
+    def test_sync_collapses_drift(self, engine):
+        clock = NodeClock(engine, drift_ppm=100.0)
+        engine.schedule(10 * SEC, lambda: clock.apply_sync(25))
+        engine.run()
+        assert clock.offset_error() == 25
+
+
+class TestAmTimeSync:
+    def _build(self, engine, n_nodes=5, **spec_kwargs):
+        sync = AmTimeSync(engine, random.Random(7),
+                          TimeSyncSpec(**spec_kwargs))
+        clocks = {}
+        for i in range(n_nodes):
+            clock = NodeClock(engine, drift_ppm=10.0)
+            sync.register(f"n{i}", clock)
+            clocks[f"n{i}"] = clock
+        return sync, clocks
+
+    def test_pulses_fire_periodically(self, engine):
+        sync, clocks = self._build(engine)
+        sync.start()
+        engine.run_until(5 * SEC)
+        assert sync.pulse_count == 5
+        assert all(c.sync_count == 5 for c in clocks.values())
+
+    def test_jitter_under_150us(self, engine):
+        """The paper's sub-150 us synchronization jitter claim."""
+        sync, clocks = self._build(engine, n_nodes=10)
+        sync.start()
+        engine.run_until(100 * SEC)
+        assert len(sync.jitter_samples) == 1000
+        assert sync.max_abs_jitter() < 150 * US
+
+    def test_jitter_is_nonzero(self, engine):
+        sync, _clocks = self._build(engine)
+        sync.start()
+        engine.run_until(20 * SEC)
+        assert any(j != 0 for j in sync.jitter_samples)
+
+    def test_missed_pulses(self, engine):
+        sync, clocks = self._build(engine, miss_probability=0.5)
+        sync.start()
+        engine.run_until(100 * SEC)
+        total_missed = sum(c.missed_count for c in clocks.values())
+        total_received = sum(c.sync_count for c in clocks.values())
+        assert total_missed > 0
+        assert total_received > 0
+        assert total_missed + total_received == 5 * 100
+
+    def test_duplicate_registration_rejected(self, engine):
+        sync, _ = self._build(engine, n_nodes=1)
+        with pytest.raises(ValueError):
+            sync.register("n0", NodeClock(engine))
+
+    def test_stop_halts_pulses(self, engine):
+        sync, _ = self._build(engine)
+        sync.start()
+        engine.run_until(2 * SEC)
+        sync.stop()
+        engine.run_until(10 * SEC)
+        assert sync.pulse_count == 2
+
+    def test_clock_offsets_stay_bounded_with_sync(self, engine):
+        """With 1 s pulses and 10 ppm drift, offsets stay ~ jitter bound."""
+        sync, clocks = self._build(engine, n_nodes=5)
+        sync.start()
+        worst = 0
+
+        def probe():
+            nonlocal worst
+            for clock in clocks.values():
+                worst = max(worst, abs(clock.offset_error()))
+            engine.schedule(500 * MS, probe)
+
+        engine.schedule(750 * MS, probe)
+        engine.run_until(60 * SEC)
+        assert worst < 150 * US + 20  # jitter + sub-pulse drift

@@ -1,0 +1,290 @@
+"""Live EVM stack on a 4-node RT-Link network (no plant).
+
+Exercises the distributed machinery end-to-end: object transfers, the
+operation switch, shadow-deviation fault detection, head arbitration,
+mode changes, dormant parking, state sharing, migration over the radio,
+capsule dissemination, membership.
+"""
+
+import random
+
+import pytest
+
+from repro.control.compiler import SLOT_INPUT, SLOT_OUTPUT, compile_passthrough
+from repro.evm.capsule import Capsule
+from repro.evm.failover import ControllerMode, FailoverPolicy
+from repro.evm.object_transfer import (
+    DirectionalTransfer,
+    FaultResponse,
+    HealthAssessment,
+)
+from repro.evm.runtime import EvmRuntime, StateSharingPolicy
+from repro.evm.tasks import LogicalTask
+from repro.evm.virtual_component import VcMember, VirtualComponent
+from repro.hardware.node import FireFlyNode
+from repro.hardware.timesync import AmTimeSync, TimeSyncSpec
+from repro.net.mac.rtlink import RtLinkConfig, RtLinkMac, RtLinkSchedule
+from repro.net.medium import Medium
+from repro.net.topology import full_mesh
+from repro.rtos.kernel import NanoRK
+from repro.sim.clock import MS, SEC
+from repro.sim.engine import Engine
+from repro.sim.trace import Trace
+
+HEAD, A, B, ACT = "head", "ctrl_a", "ctrl_b", "act"
+IDS = [HEAD, A, B, ACT]
+
+
+class Rig:
+    """Compact 4-node EVM deployment."""
+
+    def __init__(self, dormant_delay=10 * SEC, state_sharing="active",
+                 detection_threshold=3, seed=5):
+        self.engine = Engine()
+        self.trace = Trace()
+        topology = full_mesh(IDS, spacing_m=8.0)
+        self.medium = Medium(self.engine, topology,
+                             rng=random.Random(seed))
+        self.sync = AmTimeSync(self.engine, random.Random(seed + 1),
+                               TimeSyncSpec())
+        config = RtLinkConfig(slots_per_frame=20, slot_ticks=5 * MS)
+        schedule = RtLinkSchedule(config)
+        slots = {HEAD: 0, A: 4, B: 8, ACT: 12}
+        for node_id, slot in slots.items():
+            schedule.assign(slot, node_id, set(IDS) - {node_id})
+        self.vc = VirtualComponent("test-vc")
+        capabilities = {
+            HEAD: frozenset({"head"}),
+            A: frozenset({"controller"}),
+            B: frozenset({"controller"}),
+            ACT: frozenset({"actuate"}),
+        }
+        for node_id in IDS:
+            self.vc.admit(VcMember(node_id, capabilities[node_id]))
+        self.ctrl_task = LogicalTask(
+            name="ctrl", program_name="double", period_ticks=200 * MS,
+            wcet_ticks=2 * MS,
+            required_capabilities=frozenset({"controller"}), replicas=2)
+        self.act_task = LogicalTask(
+            name="act", program_name="ident", period_ticks=200 * MS,
+            wcet_ticks=1 * MS,
+            required_capabilities=frozenset({"actuate"}), replicas=1)
+        self.vc.add_task(self.ctrl_task)
+        self.vc.add_task(self.act_task)
+        self.vc.assign("ctrl", A, backups=[B])
+        self.vc.assign("act", ACT)
+        self.vc.add_transfer(DirectionalTransfer(
+            producer="ctrl", consumer="act",
+            slots=((SLOT_OUTPUT, SLOT_INPUT),)))
+        self.vc.add_transfer(HealthAssessment(
+            monitor=B, subject=A, task="ctrl",
+            response=FaultResponse.TRIGGER_BACKUP,
+            plausible_min=-1000.0, plausible_max=1000.0,
+            max_deviation=1.0, threshold=detection_threshold,
+            heartbeat_timeout_ticks=2 * SEC))
+        self.kernels = {}
+        self.runtimes = {}
+        programs = [compile_passthrough("double", gain=2.0),
+                    compile_passthrough("ident", gain=1.0)]
+        for node_id in IDS:
+            node = FireFlyNode(self.engine, node_id,
+                               position=topology.position(node_id),
+                               rng=random.Random(seed + hash(node_id) % 97),
+                               with_sensors=False)
+            node.join_timesync(self.sync)
+            port = self.medium.attach(node)
+            mac = RtLinkMac(self.engine, node, port, schedule,
+                            queue_capacity=32)
+            kernel = NanoRK(self.engine, node, trace=self.trace)
+            kernel.attach_mac(mac)
+            runtime = EvmRuntime(
+                kernel, self.vc, capabilities=capabilities[node_id],
+                trace=self.trace,
+                failover_policy=FailoverPolicy(
+                    dormant_delay_ticks=dormant_delay),
+                state_sharing=StateSharingPolicy(mode=state_sharing))
+            for program in programs:
+                runtime.install_capsule(Capsule.from_program(program, 1))
+            self.kernels[node_id] = kernel
+            self.runtimes[node_id] = runtime
+            mac.start()
+        for node_id in IDS:
+            self.runtimes[node_id].configure_from_vc(head_id=HEAD)
+        self.sync.start()
+        # Drive the controller input with a constant.
+        self.runtimes[A].bind_input("ctrl", SLOT_INPUT, lambda: 10.0)
+        self.runtimes[B].bind_input("ctrl", SLOT_INPUT, lambda: 10.0)
+
+    def run(self, seconds):
+        self.engine.run_until(self.engine.now + int(seconds * SEC))
+
+
+class TestTransfers:
+    def test_controller_output_reaches_actuator(self):
+        rig = Rig()
+        rig.run(2.0)
+        act_instance = rig.runtimes[ACT].instances["act"]
+        # double(10.0) = 20.0 shipped into the actuator's input slot.
+        assert act_instance.memory[SLOT_INPUT] == pytest.approx(20.0)
+        assert rig.runtimes[A].stats.data_published > 0
+        assert rig.runtimes[ACT].stats.data_applied > 0
+
+    def test_backup_shadows_but_does_not_publish(self):
+        rig = Rig()
+        rig.run(2.0)
+        b_instance = rig.runtimes[B].instances["ctrl"]
+        assert b_instance.jobs_run > 0
+        assert b_instance.memory[SLOT_OUTPUT] == pytest.approx(20.0)
+        assert rig.runtimes[B].stats.data_published == 0
+
+    def test_operation_switch_rejects_non_primary(self):
+        rig = Rig()
+        rig.run(1.0)
+        # Forge: B pretends to publish while A is primary.
+        b_runtime = rig.runtimes[B]
+        b_instance = b_runtime.instances["ctrl"]
+        b_instance.mode = ControllerMode.ACTIVE  # bypass, locally only
+        rig.run(1.0)
+        assert rig.runtimes[ACT].stats.rejected_by_switch > 0
+        act_in = rig.runtimes[ACT].instances["act"].memory[SLOT_INPUT]
+        assert act_in == pytest.approx(20.0)  # still A's value
+
+
+class TestFailover:
+    def test_wrong_output_triggers_backup(self):
+        rig = Rig(dormant_delay=5 * SEC)
+        rig.run(2.0)
+        rig.runtimes[A].inject_output_fault("ctrl", SLOT_OUTPUT, 500.0)
+        rig.run(5.0)
+        # B detected, head promoted B, actuator switched.
+        assert rig.runtimes[B].stats.faults_reported >= 1
+        assert rig.runtimes[HEAD].stats.failovers_executed == 1
+        assert rig.runtimes[ACT].task_primaries["ctrl"][0] == B
+        assert rig.runtimes[B].instances["ctrl"].mode is ControllerMode.ACTIVE
+        assert rig.runtimes[A].instances["ctrl"].mode in (
+            ControllerMode.INDICATOR, ControllerMode.DORMANT)
+        rig.run(6.0)
+        assert rig.runtimes[A].instances["ctrl"].mode is ControllerMode.DORMANT
+        assert not rig.kernels[A].scheduler.tasks["ctrl"].state.name == "READY"
+
+    def test_actuator_keeps_receiving_after_failover(self):
+        rig = Rig(dormant_delay=5 * SEC)
+        rig.run(2.0)
+        rig.runtimes[A].inject_output_fault("ctrl", SLOT_OUTPUT, 500.0)
+        rig.run(5.0)
+        applied_before = rig.runtimes[ACT].stats.data_applied
+        rig.run(3.0)
+        assert rig.runtimes[ACT].stats.data_applied > applied_before
+        assert rig.runtimes[ACT].instances["act"].memory[SLOT_INPUT] == \
+            pytest.approx(20.0)
+
+    def test_exactly_one_active_controller_after_settling(self):
+        rig = Rig(dormant_delay=2 * SEC)
+        rig.run(2.0)
+        rig.runtimes[A].inject_output_fault("ctrl", SLOT_OUTPUT, 500.0)
+        rig.run(8.0)
+        modes = [rig.runtimes[n].instances["ctrl"].mode for n in (A, B)]
+        assert modes.count(ControllerMode.ACTIVE) == 1
+
+    def test_crash_detected_by_heartbeat(self):
+        rig = Rig(dormant_delay=5 * SEC)
+        rig.run(2.0)
+        rig.kernels[A].crash()
+        rig.run(6.0)
+        assert rig.runtimes[HEAD].stats.failovers_executed == 1
+        assert rig.runtimes[ACT].task_primaries["ctrl"][0] == B
+
+    def test_detection_threshold_delays_confirmation(self):
+        fast = Rig(detection_threshold=1)
+        slow = Rig(detection_threshold=8)
+        for rig in (fast, slow):
+            rig.run(2.0)
+            rig.runtimes[A].inject_output_fault("ctrl", SLOT_OUTPUT, 500.0)
+            rig.run(6.0)
+
+        def detect_time(rig):
+            events = [e for e in rig.trace.events("evm.fault_detected")
+                      if e.category == "evm.fault_detected"]
+            return events[0].time if events else None
+
+        assert detect_time(fast) is not None
+        assert detect_time(slow) is not None
+        assert detect_time(fast) < detect_time(slow)
+
+
+class TestStateSharing:
+    def test_passive_snapshots_flow(self):
+        rig = Rig(state_sharing="passive")
+        rig.run(4.0)
+        assert rig.runtimes[A].stats.snapshots_sent > 0
+        assert rig.runtimes[B].stats.snapshots_applied > 0
+
+    def test_active_mode_sends_no_snapshots(self):
+        rig = Rig(state_sharing="active")
+        rig.run(4.0)
+        assert rig.runtimes[A].stats.snapshots_sent == 0
+
+
+class TestMigration:
+    def test_task_migrates_over_radio(self):
+        rig = Rig()
+        rig.run(2.0)
+        outcomes = []
+        # Move the actuator-side task to the head node (it lacks the
+        # capability) -> rejected; then controller task A -> B is blocked
+        # because B already hosts it; so migrate to the actuator node
+        # after granting capability.
+        rig.vc.members[ACT].capabilities = frozenset({"actuate",
+                                                      "controller"})
+        rig.runtimes[ACT].capabilities = frozenset({"actuate", "controller"})
+        rig.runtimes[A].migrate_task_to("ctrl", ACT,
+                                        on_done=outcomes.append)
+        rig.run(8.0)
+        assert outcomes and outcomes[0].ok, outcomes
+        assert not rig.kernels[A].has_task("ctrl")
+        assert rig.kernels[ACT].has_task("ctrl")
+        migrated = rig.runtimes[ACT].instances["ctrl"]
+        assert migrated.memory[SLOT_INPUT] == pytest.approx(10.0)
+
+    def test_migration_rejected_without_capability(self):
+        rig = Rig()
+        rig.run(2.0)
+        outcomes = []
+        rig.runtimes[A].migrate_task_to("ctrl", HEAD,
+                                        on_done=outcomes.append)
+        rig.run(8.0)
+        assert outcomes and not outcomes[0].ok
+        assert "capabilities" in outcomes[0].reason
+        assert rig.kernels[A].has_task("ctrl")  # source kept its copy
+
+
+class TestCapsulesAndMembership:
+    def test_viral_dissemination(self):
+        rig = Rig()
+        rig.run(1.0)
+        new_law = compile_passthrough("triple", gain=3.0)
+        capsule = Capsule.from_program(new_law, version=1)
+        rig.runtimes[A].install_capsule(capsule, disseminate=True)
+        rig.run(3.0)
+        for node_id in IDS:
+            assert rig.runtimes[node_id].capsules.has("triple"), node_id
+
+    def test_version_upgrade_propagates(self):
+        rig = Rig()
+        rig.run(1.0)
+        v2 = Capsule.from_program(compile_passthrough("double", gain=2.5), 2)
+        rig.runtimes[HEAD].install_capsule(v2, disseminate=True)
+        rig.run(3.0)
+        assert all(rig.runtimes[n].capsules.version_of("double") == 2
+                   for n in IDS)
+
+    def test_join_protocol(self):
+        rig = Rig()
+        rig.run(1.0)
+        # A fresh node says hello; the head admits it.
+        rig.vc.evict(ACT)
+        rig.runtimes[ACT].say_hello()
+        rig.run(2.0)
+        assert ACT in rig.vc.members
+        admitted = [e for e in rig.trace.events("evm.admitted")]
+        assert admitted

@@ -1,0 +1,153 @@
+"""Multi-hop Virtual Components over tree routing + flooding.
+
+The paper's VCs are defined by object-transfer relationships, not radio
+range.  Here a 5-node line topology (head -- relay -- ctrl_a -- ctrl_b --
+act) hosts the same control pipeline as the single-hop tests: transfers
+flood hop-by-hop, fault reports route to the head over two hops, and mode
+changes flood back out.
+"""
+
+import random
+
+import pytest
+
+from repro.control.compiler import SLOT_INPUT, SLOT_OUTPUT, compile_passthrough
+from repro.evm.capsule import Capsule
+from repro.evm.failover import ControllerMode, FailoverPolicy
+from repro.evm.object_transfer import (
+    DirectionalTransfer,
+    FaultResponse,
+    HealthAssessment,
+)
+from repro.evm.runtime import EvmRuntime
+from repro.evm.tasks import LogicalTask
+from repro.evm.virtual_component import VcMember, VirtualComponent
+from repro.hardware.node import FireFlyNode
+from repro.hardware.timesync import AmTimeSync, TimeSyncSpec
+from repro.net.mac.rtlink import RtLinkConfig, RtLinkMac, RtLinkSchedule
+from repro.net.medium import Medium
+from repro.net.routing import RoutedMacAdapter, build_tree_tables
+from repro.net.topology import line
+from repro.rtos.kernel import NanoRK
+from repro.sim.clock import MS, SEC
+from repro.sim.engine import Engine
+from repro.sim.trace import Trace
+
+IDS = ["head", "relay", "ctrl_a", "ctrl_b", "act"]
+
+
+class MultiHopRig:
+    def __init__(self, seed=3):
+        self.engine = Engine()
+        self.trace = Trace()
+        topology = line(IDS, spacing_m=9.0)
+        self.medium = Medium(self.engine, topology,
+                             rng=random.Random(seed))
+        self.sync = AmTimeSync(self.engine, random.Random(seed + 1),
+                               TimeSyncSpec())
+        config = RtLinkConfig(slots_per_frame=25, slot_ticks=5 * MS)
+        schedule = RtLinkSchedule(config)
+        # Line topology: listeners are radio neighbors only.
+        neighbors = {nid: set(topology.neighbors(nid)) for nid in IDS}
+        for slot, node_id in zip((0, 5, 10, 15, 20), IDS):
+            schedule.assign(slot, node_id, neighbors[node_id])
+        tables = build_tree_tables(topology, "head")
+        self.vc = VirtualComponent("multihop-vc")
+        capabilities = {
+            "head": frozenset({"head"}),
+            "relay": frozenset({"relay"}),
+            "ctrl_a": frozenset({"controller"}),
+            "ctrl_b": frozenset({"controller"}),
+            "act": frozenset({"actuate"}),
+        }
+        for node_id in IDS:
+            self.vc.admit(VcMember(node_id, capabilities[node_id]))
+        self.vc.add_task(LogicalTask(
+            name="ctrl", program_name="double", period_ticks=300 * MS,
+            wcet_ticks=2 * MS,
+            required_capabilities=frozenset({"controller"}), replicas=2))
+        self.vc.add_task(LogicalTask(
+            name="act", program_name="ident", period_ticks=300 * MS,
+            wcet_ticks=1 * MS,
+            required_capabilities=frozenset({"actuate"})))
+        self.vc.assign("ctrl", "ctrl_a", backups=["ctrl_b"])
+        self.vc.assign("act", "act")
+        self.vc.add_transfer(DirectionalTransfer(
+            producer="ctrl", consumer="act",
+            slots=((SLOT_OUTPUT, SLOT_INPUT),)))
+        self.vc.add_transfer(HealthAssessment(
+            monitor="ctrl_b", subject="ctrl_a", task="ctrl",
+            response=FaultResponse.TRIGGER_BACKUP, max_deviation=1.0,
+            threshold=3, heartbeat_timeout_ticks=4 * SEC))
+        programs = [compile_passthrough("double", gain=2.0),
+                    compile_passthrough("ident", gain=1.0)]
+        self.kernels, self.runtimes, self.adapters = {}, {}, {}
+        for node_id in IDS:
+            node = FireFlyNode(self.engine, node_id,
+                               position=topology.position(node_id),
+                               rng=random.Random(seed + len(node_id)),
+                               with_sensors=False)
+            node.join_timesync(self.sync)
+            mac = RtLinkMac(self.engine, node, self.medium.attach(node),
+                            schedule, queue_capacity=32)
+            adapter = RoutedMacAdapter(mac, tables[node_id], flood_ttl=5)
+            kernel = NanoRK(self.engine, node, trace=self.trace)
+            kernel.attach_mac(adapter)
+            runtime = EvmRuntime(
+                kernel, self.vc, capabilities[node_id], trace=self.trace,
+                failover_policy=FailoverPolicy(dormant_delay_ticks=8 * SEC))
+            for program in programs:
+                runtime.install_capsule(Capsule.from_program(program, 1))
+            runtime.configure_from_vc(head_id="head")
+            self.kernels[node_id] = kernel
+            self.runtimes[node_id] = runtime
+            self.adapters[node_id] = adapter
+            mac.start()
+        self.sync.start()
+        self.runtimes["ctrl_a"].bind_input("ctrl", SLOT_INPUT, lambda: 7.0)
+        self.runtimes["ctrl_b"].bind_input("ctrl", SLOT_INPUT, lambda: 7.0)
+
+    def run(self, seconds):
+        self.engine.run_until(self.engine.now + int(seconds * SEC))
+
+
+class TestMultiHop:
+    def test_transfers_flood_across_hops(self):
+        rig = MultiHopRig()
+        rig.run(6.0)
+        # ctrl_a -> act is one hop on the line; ctrl output also reaches
+        # the head (3 hops away) via flooding for monitoring.
+        act_memory = rig.runtimes["act"].instances["act"].memory
+        assert act_memory[SLOT_INPUT] == pytest.approx(14.0)
+        assert rig.runtimes["head"].stats.messages_handled > 0
+
+    def test_backup_two_hops_from_actuator_shadows(self):
+        rig = MultiHopRig()
+        rig.run(6.0)
+        backup = rig.runtimes["ctrl_b"].instances["ctrl"]
+        assert backup.jobs_run > 10
+        assert backup.memory[SLOT_OUTPUT] == pytest.approx(14.0)
+
+    def test_failover_across_multihop_paths(self):
+        """Fault report routes ctrl_b -> head over 2 hops; the mode change
+        floods back out; the actuator switches sources."""
+        rig = MultiHopRig()
+        rig.run(6.0)
+        rig.runtimes["ctrl_a"].inject_output_fault("ctrl", SLOT_OUTPUT,
+                                                   400.0)
+        rig.run(15.0)
+        assert rig.runtimes["head"].stats.failovers_executed == 1
+        assert rig.runtimes["act"].task_primaries["ctrl"][0] == "ctrl_b"
+        assert rig.runtimes["ctrl_b"].instances["ctrl"].mode is \
+            ControllerMode.ACTIVE
+        # Relay actually forwarded frames (it hosts nothing itself).
+        assert rig.adapters["relay"].floods_relayed > 0
+
+    def test_flood_dedup_terminates(self):
+        rig = MultiHopRig()
+        rig.run(10.0)
+        # Bounded relaying: each broadcast relayed at most once per node.
+        total_relays = sum(a.floods_relayed for a in rig.adapters.values())
+        total_broadcasts = sum(r.stats.data_published
+                               for r in rig.runtimes.values())
+        assert total_relays <= total_broadcasts * (len(IDS) - 1)

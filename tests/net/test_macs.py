@@ -1,0 +1,255 @@
+"""MAC protocols: RT-Link slot discipline, B-MAC LPL, S-MAC duty cycling."""
+
+import random
+
+import pytest
+
+from repro.hardware.node import FireFlyNode
+from repro.hardware.timesync import AmTimeSync, TimeSyncSpec
+from repro.net.mac.bmac import BMac, BMacConfig
+from repro.net.mac.rtlink import RtLinkConfig, RtLinkMac, RtLinkSchedule
+from repro.net.mac.smac import SMac, SMacConfig
+from repro.net.medium import Medium
+from repro.net.packet import Packet
+from repro.net.topology import full_mesh
+from repro.sim.clock import MS, SEC
+
+
+def build_stack(engine, node_ids, mac_factory, with_sync=True):
+    topology = full_mesh(node_ids, spacing_m=5.0)
+    medium = Medium(engine, topology, rng=random.Random(3))
+    sync = AmTimeSync(engine, random.Random(5), TimeSyncSpec())
+    nodes, macs, inboxes = {}, {}, {}
+    for node_id in node_ids:
+        node = FireFlyNode(engine, node_id, with_sensors=False,
+                           rng=random.Random(hash(node_id) % 1000))
+        if with_sync:
+            node.join_timesync(sync)
+        port = medium.attach(node)
+        mac = mac_factory(engine, node, port)
+        inboxes[node_id] = []
+        mac.set_receive_handler(
+            lambda p, n=node_id: inboxes[n].append(p))
+        nodes[node_id] = node
+        macs[node_id] = mac
+    if with_sync:
+        sync.start()
+    for mac in macs.values():
+        mac.start()
+    return nodes, macs, inboxes, medium
+
+
+class TestRtLinkSchedule:
+    def test_round_robin_unique_slots(self):
+        config = RtLinkConfig()
+        schedule = RtLinkSchedule.round_robin(config, ["a", "b", "c"])
+        assert schedule.transmitter(0) == "a"
+        assert schedule.transmitter(1) == "b"
+        assert schedule.tx_slots_of("c") == [2]
+        assert "a" in schedule.listeners(1)
+
+    def test_double_assignment_rejected(self):
+        schedule = RtLinkSchedule(RtLinkConfig())
+        schedule.assign(0, "a")
+        with pytest.raises(ValueError):
+            schedule.assign(0, "b")
+
+    def test_slot_out_of_range(self):
+        schedule = RtLinkSchedule(RtLinkConfig(slots_per_frame=8))
+        with pytest.raises(ValueError):
+            schedule.assign(8, "a")
+
+    def test_too_many_nodes(self):
+        config = RtLinkConfig(slots_per_frame=2)
+        with pytest.raises(ValueError):
+            RtLinkSchedule.round_robin(config, ["a", "b", "c"])
+
+    def test_free_slots(self):
+        schedule = RtLinkSchedule(RtLinkConfig(slots_per_frame=4))
+        schedule.assign(1, "a")
+        assert schedule.free_slots() == [0, 2, 3]
+
+
+class TestRtLink:
+    def _factory(self, schedule):
+        def make(engine, node, port):
+            return RtLinkMac(engine, node, port, schedule)
+
+        return make
+
+    def test_collision_free_under_load(self, engine):
+        """Every node saturates its queue; RT-Link must never collide."""
+        ids = ["a", "b", "c", "d"]
+        config = RtLinkConfig()
+        schedule = RtLinkSchedule.round_robin(config, ids)
+        nodes, macs, inboxes, medium = build_stack(
+            engine, ids, self._factory(schedule))
+        for node_id in ids:
+            for _ in range(10):
+                macs[node_id].send(Packet(src=node_id, dst="*",
+                                          kind="x", size_bytes=32))
+        engine.run_until(10 * SEC)
+        assert medium.stats.collisions == 0
+        assert medium.stats.frames_sent == 40
+
+    def test_unicast_delivery(self, engine):
+        ids = ["a", "b", "c"]
+        schedule = RtLinkSchedule.round_robin(RtLinkConfig(), ids)
+        nodes, macs, inboxes, medium = build_stack(
+            engine, ids, self._factory(schedule))
+        macs["a"].send(Packet(src="a", dst="b", kind="hello", size_bytes=16))
+        engine.run_until(2 * SEC)
+        assert [p.kind for p in inboxes["b"]] == ["hello"]
+        assert inboxes["c"] == []  # filtered: not addressed to c
+
+    def test_latency_bounded_by_frame(self, engine):
+        ids = ["a", "b"]
+        config = RtLinkConfig()
+        schedule = RtLinkSchedule.round_robin(config, ids)
+        nodes, macs, inboxes, medium = build_stack(
+            engine, ids, self._factory(schedule))
+        engine.run_until(1 * SEC)
+        macs["a"].send(Packet(src="a", dst="b", kind="x", size_bytes=16))
+        engine.run_until(2 * SEC)
+        assert macs["b"].stats.delivery_latencies[0] <= config.frame_ticks
+
+    def test_nodes_sleep_outside_slots(self, engine):
+        ids = ["a", "b"]
+        schedule = RtLinkSchedule.round_robin(RtLinkConfig(), ids)
+        nodes, macs, inboxes, medium = build_stack(
+            engine, ids, self._factory(schedule))
+        engine.run_until(10 * SEC)
+        # 1 tx + 1 rx slot of 32 -> duty well under 10 %
+        assert nodes["a"].radio.duty_cycle() < 0.10
+
+    def test_oversize_packet_rejected(self, engine):
+        ids = ["a", "b"]
+        schedule = RtLinkSchedule.round_robin(RtLinkConfig(), ids)
+        nodes, macs, _, _ = build_stack(engine, ids, self._factory(schedule))
+        with pytest.raises(ValueError):
+            macs["a"].send(Packet(src="a", dst="b", kind="big",
+                                  size_bytes=200))
+
+    def test_queue_overflow_counted(self, engine):
+        ids = ["a", "b"]
+        schedule = RtLinkSchedule.round_robin(RtLinkConfig(), ids)
+
+        def factory(eng, node, port):
+            return RtLinkMac(eng, node, port, schedule, queue_capacity=2)
+
+        nodes, macs, _, _ = build_stack(engine, ids, factory)
+        for _ in range(5):
+            macs["a"].send(Packet(src="a", dst="b", kind="x", size_bytes=8))
+        assert macs["a"].stats.queue_drops == 3
+
+    def test_failed_node_goes_silent(self, engine):
+        ids = ["a", "b"]
+        schedule = RtLinkSchedule.round_robin(RtLinkConfig(), ids)
+        nodes, macs, inboxes, medium = build_stack(
+            engine, ids, self._factory(schedule))
+        macs["a"].send(Packet(src="a", dst="b", kind="x", size_bytes=8))
+        engine.run_until(1 * SEC)
+        count = len(inboxes["b"])
+        nodes["a"].fail()
+        macs["a"].send(Packet(src="a", dst="b", kind="x", size_bytes=8))
+        engine.run_until(3 * SEC)
+        assert len(inboxes["b"]) == count
+
+    def test_back_to_back_rx_slots_all_heard(self, engine):
+        """Gateway listening in consecutive slots must not skip any."""
+        ids = ["a", "b", "c", "gw"]
+        config = RtLinkConfig()
+        schedule = RtLinkSchedule(config)
+        for i, node_id in enumerate(["a", "b", "c"]):
+            schedule.assign(i, node_id, {"gw"})
+        nodes, macs, inboxes, medium = build_stack(
+            engine, ids, self._factory(schedule))
+        for node_id in ("a", "b", "c"):
+            macs[node_id].send(Packet(src=node_id, dst="gw", kind="r",
+                                      size_bytes=16))
+        engine.run_until(2 * SEC)
+        assert sorted(p.src for p in inboxes["gw"]) == ["a", "b", "c"]
+
+
+class TestBMac:
+    def _factory(self, config=None):
+        def make(engine, node, port):
+            return BMac(engine, node, port, config or BMacConfig())
+
+        return make
+
+    def test_delivery(self, engine):
+        nodes, macs, inboxes, medium = build_stack(
+            engine, ["a", "b"], self._factory(), with_sync=False)
+        macs["a"].send(Packet(src="a", dst="b", kind="x", size_bytes=24))
+        engine.run_until(3 * SEC)
+        assert [p.kind for p in inboxes["b"]] == ["x"]
+
+    def test_preamble_not_delivered_upward(self, engine):
+        nodes, macs, inboxes, medium = build_stack(
+            engine, ["a", "b"], self._factory(), with_sync=False)
+        macs["a"].send(Packet(src="a", dst="b", kind="x", size_bytes=24))
+        engine.run_until(3 * SEC)
+        assert all(p.kind != "bmac.preamble" for p in inboxes["b"])
+        assert macs["a"].preambles_sent == 1
+
+    def test_sender_pays_preamble_energy(self, engine):
+        nodes, macs, _, _ = build_stack(
+            engine, ["a", "b"], self._factory(), with_sync=False)
+        for _ in range(5):
+            macs["a"].send(Packet(src="a", dst="b", kind="x", size_bytes=24))
+        engine.run_until(20 * SEC)
+        # Preamble >= check interval: sender TX time dominates.
+        from repro.hardware.radio import RadioState
+        tx_time = nodes["a"].radio.state_time(RadioState.TX)
+        assert tx_time > 5 * macs["a"].config.check_interval_ticks
+
+    def test_periodic_channel_sampling(self, engine):
+        nodes, macs, _, _ = build_stack(
+            engine, ["a", "b"], self._factory(), with_sync=False)
+        engine.run_until(5 * SEC)
+        # ~50 samples in 5 s at 100 ms check interval
+        assert 40 <= macs["b"].samples_taken <= 60
+
+
+class TestSMac:
+    def _factory(self, config=None):
+        def make(engine, node, port):
+            return SMac(engine, node, port, config or SMacConfig())
+
+        return make
+
+    def test_delivery_within_listen_window(self, engine):
+        nodes, macs, inboxes, medium = build_stack(
+            engine, ["a", "b"], self._factory(), with_sync=False)
+        macs["a"].send(Packet(src="a", dst="b", kind="x", size_bytes=24))
+        engine.run_until(5 * SEC)
+        assert [p.kind for p in inboxes["b"]] == ["x"]
+
+    def test_duty_cycle_near_configured(self, engine):
+        config = SMacConfig(frame_ticks=1000 * MS, listen_ticks=100 * MS)
+        nodes, macs, _, _ = build_stack(
+            engine, ["a", "b"], self._factory(config), with_sync=False)
+        engine.run_until(30 * SEC)
+        duty = nodes["b"].radio.duty_cycle()
+        assert 0.05 < duty < 0.2  # ~10 % listen window
+
+    def test_latency_dominated_by_sleep(self, engine):
+        """Packets queued mid-sleep wait for the next listen window."""
+        config = SMacConfig(frame_ticks=1000 * MS, listen_ticks=100 * MS)
+        nodes, macs, inboxes, _ = build_stack(
+            engine, ["a", "b"], self._factory(config), with_sync=False)
+        engine.run_until(1500 * MS)  # mid-sleep of frame 2
+        macs["a"].send(Packet(src="a", dst="b", kind="x", size_bytes=24))
+        engine.run_until(5 * SEC)
+        assert macs["b"].stats.delivery_latencies[0] > 300 * MS
+
+    def test_contention_loss_counted(self, engine):
+        nodes, macs, inboxes, medium = build_stack(
+            engine, ["a", "b", "c"], self._factory(), with_sync=False)
+        for _ in range(10):
+            macs["a"].send(Packet(src="a", dst="c", kind="x", size_bytes=24))
+            macs["b"].send(Packet(src="b", dst="c", kind="y", size_bytes=24))
+        engine.run_until(30 * SEC)
+        assert (macs["a"].contention_losses + macs["b"].contention_losses
+                > 0)

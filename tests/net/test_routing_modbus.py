@@ -1,0 +1,213 @@
+"""Tree routing and the ModBus gateway."""
+
+import pytest
+
+from repro.net.modbus import (
+    ModbusGatewayService,
+    ModbusSerialLink,
+    ProcessImage,
+    RegisterSpec,
+)
+from repro.net.packet import Packet
+from repro.net.routing import TreeRouter, build_tree_tables
+from repro.net.topology import line, star
+from repro.sim.clock import MS
+
+
+class TestTreeTables:
+    def test_line_routes_through_middle(self):
+        topo = line(["a", "b", "c"])
+        tables = build_tree_tables(topo, "a")
+        assert tables["a"]["c"] == "b"
+        assert tables["c"]["a"] == "b"
+        assert tables["b"]["a"] == "a"
+
+    def test_star_routes_through_center(self):
+        topo = star("gw", ["x", "y"])
+        tables = build_tree_tables(topo, "gw")
+        assert tables["x"]["y"] == "gw"
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(KeyError):
+            build_tree_tables(line(["a", "b"]), "zz")
+
+
+class _FakeMac:
+    """Captures sends; delivers on demand."""
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.sent = []
+        self.handler = None
+
+    def send(self, packet):
+        self.sent.append(packet)
+        return True
+
+    def set_receive_handler(self, fn):
+        self.handler = fn
+
+
+class TestTreeRouter:
+    def test_send_wraps_and_addresses_next_hop(self):
+        topo = line(["a", "b", "c"])
+        tables = build_tree_tables(topo, "a")
+        mac = _FakeMac("a")
+        router = TreeRouter(mac, tables["a"])
+        router.send(Packet(src="a", dst="c", kind="data", payload=7,
+                           size_bytes=8, created_at=5))
+        frame = mac.sent[0]
+        assert frame.dst == "b"
+        assert frame.kind == "route.data"
+        assert frame.payload == ("c", 7)
+        assert frame.created_at == 5
+
+    def test_forwarding_at_intermediate(self):
+        topo = line(["a", "b", "c"])
+        tables = build_tree_tables(topo, "a")
+        mac_b = _FakeMac("b")
+        router_b = TreeRouter(mac_b, tables["b"])
+        # Frame from a, destined to c, arriving at b.
+        frame = Packet(src="a", dst="b", kind="route.data",
+                       payload=("c", 99), size_bytes=8)
+        mac_b.handler(frame)
+        assert router_b.forwarded == 1
+        assert mac_b.sent[0].dst == "c"
+
+    def test_delivery_at_destination(self):
+        topo = line(["a", "b", "c"])
+        tables = build_tree_tables(topo, "a")
+        mac_c = _FakeMac("c")
+        router_c = TreeRouter(mac_c, tables["c"])
+        delivered = []
+        router_c.set_deliver_handler(delivered.append)
+        mac_c.handler(Packet(src="b", dst="c", kind="route.data",
+                             payload=("c", 42), size_bytes=8))
+        assert delivered[0].payload == 42
+        assert delivered[0].kind == "data"
+
+    def test_single_hop_passthrough(self):
+        mac = _FakeMac("b")
+        router = TreeRouter(mac, {})
+        delivered = []
+        router.set_deliver_handler(delivered.append)
+        mac.handler(Packet(src="a", dst="b", kind="plain", payload=1))
+        assert len(delivered) == 1
+
+    def test_no_route_counted(self):
+        mac = _FakeMac("a")
+        router = TreeRouter(mac, {})
+        ok = router.send(Packet(src="a", dst="zz", kind="x"))
+        assert not ok
+        assert router.no_route_drops == 1
+
+
+class TestProcessImage:
+    def test_scaling_roundtrip(self):
+        image = ProcessImage()
+        image.define(1, "level", 0.0, 100.0, initial=50.0)
+        assert image.read(1) == pytest.approx(50.0, abs=0.01)
+        image.write(1, 11.48)
+        assert image.read(1) == pytest.approx(11.48, abs=0.01)
+
+    def test_quantization_is_16bit(self):
+        image = ProcessImage()
+        image.define(1, "x", 0.0, 100.0)
+        image.write(1, 33.3333333)
+        raw = image.read_raw(1)
+        assert 0 <= raw <= 0xFFFF
+        assert image.read(1) == pytest.approx(33.3333, abs=100.0 / 0xFFFF)
+
+    def test_out_of_range_clamps(self):
+        image = ProcessImage()
+        image.define(1, "x", 0.0, 100.0)
+        image.write(1, 150.0)
+        assert image.read(1) == pytest.approx(100.0)
+        image.write(1, -5.0)
+        assert image.read(1) == pytest.approx(0.0)
+
+    def test_write_hooks(self):
+        image = ProcessImage()
+        image.define(1, "x", 0.0, 1.0)
+        seen = []
+        image.on_write(lambda addr, v: seen.append((addr, v)))
+        image.write(1, 0.5)
+        assert seen[0][0] == 1
+
+    def test_undefined_register(self):
+        image = ProcessImage()
+        with pytest.raises(KeyError):
+            image.read(99)
+
+    def test_duplicate_define_rejected(self):
+        image = ProcessImage()
+        image.define(1, "x")
+        with pytest.raises(ValueError):
+            image.define(1, "y")
+
+
+class TestSerialLink:
+    def test_read_has_latency(self, engine):
+        image = ProcessImage()
+        image.define(1, "x", 0.0, 100.0, initial=42.0)
+        link = ModbusSerialLink(engine, image, transaction_ticks=5 * MS)
+        got = []
+        link.read_async(1, got.append)
+        engine.run_until(4 * MS)
+        assert got == []
+        engine.run_until(6 * MS)
+        assert got[0] == pytest.approx(42.0, abs=0.01)
+
+    def test_write_applies_after_latency(self, engine):
+        image = ProcessImage()
+        image.define(1, "x", 0.0, 100.0)
+        link = ModbusSerialLink(engine, image, transaction_ticks=5 * MS)
+        link.write_async(1, 77.0)
+        assert image.read(1) == pytest.approx(0.0, abs=0.01)
+        engine.run()
+        assert image.read(1) == pytest.approx(77.0, abs=0.01)
+        assert link.transactions == 1
+
+
+class TestGatewayService:
+    def test_read_request_answered(self, engine):
+        image = ProcessImage()
+        image.define(100, "level", 0.0, 100.0, initial=50.0)
+        mac = _FakeMac("gw")
+        service = ModbusGatewayService(engine, mac, image)
+        mac.handler(Packet(src="s1", dst="gw", kind="modbus.read",
+                           payload=100))
+        response = mac.sent[0]
+        assert response.kind == "modbus.resp"
+        assert response.dst == "s1"
+        address, value = response.payload
+        assert address == 100
+        assert value == pytest.approx(50.0, abs=0.01)
+
+    def test_write_applied(self, engine):
+        image = ProcessImage()
+        image.define(200, "valve", 0.0, 100.0)
+        mac = _FakeMac("gw")
+        service = ModbusGatewayService(engine, mac, image)
+        mac.handler(Packet(src="a1", dst="gw", kind="modbus.write",
+                           payload=(200, 75.0)))
+        assert image.read(200) == pytest.approx(75.0, abs=0.01)
+        assert service.writes_applied == 1
+
+    def test_unknown_register_counted(self, engine):
+        image = ProcessImage()
+        mac = _FakeMac("gw")
+        service = ModbusGatewayService(engine, mac, image)
+        mac.handler(Packet(src="s1", dst="gw", kind="modbus.read",
+                           payload=999))
+        assert service.errors == 1
+        assert mac.sent == []
+
+    def test_fallthrough_for_evm_frames(self, engine):
+        image = ProcessImage()
+        mac = _FakeMac("gw")
+        service = ModbusGatewayService(engine, mac, image)
+        other = []
+        service.set_fallthrough(other.append)
+        mac.handler(Packet(src="x", dst="gw", kind="evm.data", payload={}))
+        assert len(other) == 1

@@ -1,0 +1,229 @@
+"""Plant substrate: streams, thermo, units, the full gas plant."""
+
+import pytest
+
+from repro.plant.components import (
+    Composition,
+    N_SPECIES,
+    SPECIES,
+    Stream,
+)
+from repro.plant.thermo import (
+    effective_boiling_point_c,
+    flash,
+    liquid_fraction,
+)
+from repro.plant.units.separator import TwoPhaseSeparator
+from repro.plant.units.valve import ControlValve
+from repro.plant.gas_plant import NaturalGasPlant
+
+
+class TestComposition:
+    def test_normalization(self):
+        comp = Composition({"C1": 2.0, "C3": 2.0})
+        assert comp["C1"] == pytest.approx(0.5)
+        assert sum(comp.fractions) == pytest.approx(1.0)
+
+    def test_unknown_species_rejected(self):
+        with pytest.raises(KeyError):
+            Composition({"He": 1.0})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Composition({"C1": -0.1, "C2": 1.1})
+
+    def test_molar_mass(self):
+        pure_methane = Composition({"C1": 1.0})
+        assert pure_methane.molar_mass() == pytest.approx(16.04)
+
+
+class TestStream:
+    def test_component_flows(self):
+        stream = Stream(100.0, Composition({"C1": 0.8, "C3": 0.2}),
+                        25.0, 4000.0)
+        assert stream.component_flow("C3") == pytest.approx(20.0)
+
+    def test_mix_conserves_moles(self):
+        a = Stream(60.0, Composition({"C1": 1.0}), 20.0, 4000.0)
+        b = Stream(40.0, Composition({"C3": 1.0}), 30.0, 3900.0)
+        mixed = Stream.mix([a, b])
+        assert mixed.molar_flow == pytest.approx(100.0)
+        assert mixed.component_flow("C1") == pytest.approx(60.0)
+        assert mixed.component_flow("C3") == pytest.approx(40.0)
+        assert mixed.temperature_c == pytest.approx(24.0)
+        assert mixed.pressure_kpa == 3900.0
+
+    def test_mix_empty(self):
+        assert Stream.mix([]).molar_flow == 0.0
+
+    def test_negative_flow_rejected(self):
+        with pytest.raises(ValueError):
+            Stream(-1.0, Composition({"C1": 1.0}), 25.0, 100.0)
+
+
+class TestThermo:
+    def test_pressure_raises_effective_boiling_point(self):
+        base = effective_boiling_point_c(-42.1, 101.3)
+        pressurized = effective_boiling_point_c(-42.1, 4000.0)
+        assert pressurized > base + 30
+
+    def test_heavier_condense_more(self):
+        t, p = -20.0, 3900.0
+        fractions = [liquid_fraction(s.boiling_point_c, t, p)
+                     for s in SPECIES]
+        # Species are ordered light to heavy within the hydrocarbons:
+        c1, c2, c3, ic4, nc4 = (fractions[2], fractions[3], fractions[4],
+                                fractions[5], fractions[6])
+        assert c1 < c2 < c3 < ic4 <= nc4
+
+    def test_colder_condenses_more(self):
+        warm = liquid_fraction(-42.1, 25.0, 4000.0)
+        cold = liquid_fraction(-42.1, -20.0, 4000.0)
+        assert cold > warm
+
+    def test_flash_conserves_mass(self):
+        feed = Stream(100.0, Composition({"C1": 0.7, "C3": 0.2,
+                                          "nC4": 0.1}), 25.0, 4000.0)
+        vapor, liquid = flash(feed, -20.0, 3900.0)
+        assert vapor.molar_flow + liquid.molar_flow == \
+            pytest.approx(100.0)
+        for s in ("C1", "C3", "nC4"):
+            assert (vapor.component_flow(s) + liquid.component_flow(s)
+                    == pytest.approx(feed.component_flow(s)))
+
+
+class TestValve:
+    def test_linear_characteristic(self):
+        valve = ControlValve("v", cv_mol_s=100.0, initial_opening_pct=25.0)
+        assert valve.requested_flow == pytest.approx(25.0)
+
+    def test_actuator_lag(self):
+        valve = ControlValve("v", cv_mol_s=100.0, initial_opening_pct=0.0,
+                             actuator_tau_sec=2.0)
+        valve.set_command(100.0)
+        valve.step(1.0)
+        assert 0.0 < valve.opening_pct < 100.0
+        for _ in range(50):
+            valve.step(1.0)
+        assert valve.opening_pct == pytest.approx(100.0, abs=0.1)
+
+    def test_command_clamped(self):
+        valve = ControlValve("v", cv_mol_s=10.0)
+        valve.set_command(150.0)
+        assert valve.command_pct == 100.0
+        valve.set_command(-5.0)
+        assert valve.command_pct == 0.0
+
+
+class TestSeparator:
+    def _separator(self, opening=10.0, feed_flow=100.0):
+        feed = Stream(feed_flow, Composition({"C1": 0.7, "C3": 0.2,
+                                              "nC4": 0.1}), -20.0, 3900.0)
+        valve = ControlValve("v", cv_mol_s=100.0,
+                             initial_opening_pct=opening,
+                             actuator_tau_sec=0.0)
+        sep = TwoPhaseSeparator("sep", feed=lambda: feed,
+                                liquid_valve=valve, temperature_c=-20.0,
+                                pressure_kpa=3900.0,
+                                holdup_capacity_mol=10000.0,
+                                initial_level_pct=50.0)
+        return sep, valve
+
+    def test_level_rises_when_valve_closed(self):
+        sep, valve = self._separator(opening=0.0)
+        level0 = sep.level_pct
+        for _ in range(100):
+            sep.step(1.0)
+        assert sep.level_pct > level0
+
+    def test_level_falls_when_valve_wide_open(self):
+        sep, valve = self._separator(opening=100.0)
+        level0 = sep.level_pct
+        for _ in range(100):
+            sep.step(1.0)
+        assert sep.level_pct < level0
+
+    def test_drain_limited_by_holdup(self):
+        sep, valve = self._separator(opening=100.0)
+        for _ in range(2000):
+            sep.step(1.0)
+        assert sep.level_pct == pytest.approx(0.0, abs=1.0)
+        # Once dry, outflow equals condensation inflow (cannot exceed).
+        _, liquid = flash(sep.feed(), -20.0, 3900.0)
+        assert sep.liquid_out.molar_flow <= \
+            liquid.molar_flow + sep.blow_by_flow + 1e-6
+
+    def test_blow_by_on_dry_vessel(self):
+        sep, valve = self._separator(opening=100.0)
+        for _ in range(2000):
+            sep.step(1.0)
+        assert sep.blow_by_flow > 0.0
+
+    def test_mass_balance(self):
+        """Holdup change equals liquid in minus liquid out."""
+        sep, valve = self._separator(opening=20.0)
+        dt = 1.0
+        for _ in range(50):
+            before = sep.holdup_mol
+            sep.step(dt)
+            _, liquid = flash(sep.feed(), -20.0, 3900.0)
+            inflow = liquid.molar_flow * dt
+            outflow = (sep.liquid_out.molar_flow - sep.blow_by_flow) * dt
+            assert sep.holdup_mol - before == pytest.approx(
+                inflow - outflow, rel=1e-6, abs=1e-6)
+
+
+class TestGasPlant:
+    @pytest.fixture(scope="class")
+    def settled_plant(self):
+        plant = NaturalGasPlant()
+        plant.settle(1500.0)
+        return plant
+
+    def test_reaches_paper_operating_point(self, settled_plant):
+        snap = settled_plant.flowsheet.snapshot()
+        assert snap["lts_level_pct"] == pytest.approx(50.0, abs=0.5)
+        assert snap["lts_valve_pct"] == pytest.approx(11.48, abs=0.5)
+
+    def test_all_eight_loops_at_setpoint(self, settled_plant):
+        plant = settled_plant
+        for loop in plant.loops:
+            pv = plant.flowsheet.read(loop.pv)
+            span = abs(loop.config.setpoint) * 0.05 + 2.0
+            assert pv == pytest.approx(loop.config.setpoint, abs=span), \
+                loop.name
+
+    def test_bottoms_are_low_propane(self, settled_plant):
+        """The paper's 'low-propane-content bottoms product'."""
+        c3 = settled_plant.flowsheet.read("bottoms_c3_frac")
+        assert c3 < 0.15
+
+    def test_stream_table_mass_balance(self, settled_plant):
+        table = settled_plant.stream_table()
+        feed = table["feed"]["molar_flow"]
+        sales = table["sales_gas"]["molar_flow"]
+        distillate = table["distillate"]["molar_flow"]
+        bottoms = table["bottoms"]["molar_flow"]
+        deprop_gas = settled_plant.depropanizer.overhead_gas_out.molar_flow
+        total_out = sales + distillate + bottoms + deprop_gas
+        assert total_out == pytest.approx(feed, rel=0.1)
+
+    def test_lts_colder_than_inlet(self, settled_plant):
+        table = settled_plant.stream_table()
+        assert table["chiller_out"]["temperature_c"] < \
+            table["feed"]["temperature_c"] - 30
+
+    def test_wedged_valve_drains_lts(self):
+        plant = NaturalGasPlant()
+        plant.settle(1200.0)
+        plant.disable_local_control("lts_level")
+        plant.flowsheet.write("lts_liquid_valve_pct", 75.0)
+        for _ in range(400):
+            plant.step(0.5)
+        assert plant.flowsheet.read("lts_level_pct") < 10.0
+        assert plant.flowsheet.read("lts_liq_flow") > 20.0  # blow-by spike
+
+    def test_loop_lookup(self, settled_plant):
+        assert settled_plant.loop("lts_level").mv == "lts_liquid_valve_pct"
+        with pytest.raises(KeyError):
+            settled_plant.loop("nonexistent")

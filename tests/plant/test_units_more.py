@@ -1,0 +1,212 @@
+"""Heat exchange, chiller, depropanizer, vapor header, HIL bridge."""
+
+import pytest
+
+from repro.plant.components import Composition, Stream
+from repro.plant.gas_plant import NaturalGasPlant, VaporHeader
+from repro.plant.hil import HilBridge
+from repro.plant.units.column import Depropanizer
+from repro.plant.units.heat_exchanger import Chiller, GasGasExchanger
+from repro.plant.units.valve import ControlValve
+from repro.sim.clock import MS, SEC
+from repro.sim.engine import Engine
+
+
+def gas(flow=100.0, t=25.0, p=4000.0):
+    return Stream(flow, Composition({"C1": 0.8, "C3": 0.2}), t, p)
+
+
+class TestGasGasExchanger:
+    def test_heat_moves_hot_to_cold(self):
+        hot = gas(t=25.0)
+        cold = gas(t=-20.0)
+        hx = GasGasExchanger("hx", lambda: hot, lambda: cold,
+                             effectiveness=0.65)
+        hx.step(1.0)
+        assert hx.hot_out.temperature_c < 25.0
+        assert hx.cold_out.temperature_c > -20.0
+        assert hx.duty_watts > 0
+
+    def test_energy_balance(self):
+        hot = gas(flow=100.0, t=25.0)
+        cold = gas(flow=100.0, t=-20.0)
+        hx = GasGasExchanger("hx", lambda: hot, lambda: cold)
+        hx.step(1.0)
+        hot_drop = 25.0 - hx.hot_out.temperature_c
+        cold_rise = hx.cold_out.temperature_c - (-20.0)
+        assert hot_drop == pytest.approx(cold_rise, rel=1e-9)
+
+    def test_no_heat_against_gradient(self):
+        hot = gas(t=-30.0)   # "hot" side actually colder
+        cold = gas(t=20.0)
+        hx = GasGasExchanger("hx", lambda: hot, lambda: cold)
+        hx.step(1.0)
+        assert hx.hot_out.temperature_c == pytest.approx(-30.0)
+
+    def test_zero_flow_passthrough(self):
+        hot = gas(flow=0.0)
+        cold = gas(t=-20.0)
+        hx = GasGasExchanger("hx", lambda: hot, lambda: cold)
+        hx.step(1.0)
+        assert hx.duty_watts == 0.0
+
+    def test_effectiveness_validation(self):
+        with pytest.raises(ValueError):
+            GasGasExchanger("hx", lambda: gas(), lambda: gas(),
+                            effectiveness=1.5)
+
+
+class TestChiller:
+    def test_tracks_duty_setpoint(self):
+        chiller = Chiller("ch", lambda: gas(t=0.0), t_min_c=-35.0,
+                          t_max_c=10.0, initial_duty_pct=0.0, tau_sec=5.0)
+        chiller.set_duty(100.0)
+        for _ in range(100):
+            chiller.step(1.0)
+        assert chiller.outlet_temperature_c == pytest.approx(-35.0, abs=0.5)
+
+    def test_duty_zero_is_warm_end(self):
+        chiller = Chiller("ch", lambda: gas(t=0.0), initial_duty_pct=0.0,
+                          tau_sec=1.0)
+        for _ in range(50):
+            chiller.step(1.0)
+        assert chiller.outlet_temperature_c == pytest.approx(10.0, abs=0.5)
+
+    def test_first_order_lag(self):
+        chiller = Chiller("ch", lambda: gas(t=0.0), initial_duty_pct=0.0,
+                          tau_sec=20.0)
+        chiller.set_duty(100.0)
+        chiller.step(1.0)
+        # One step of a 20 s lag moves only a few percent of the way.
+        assert chiller.outlet_temperature_c > 5.0
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            Chiller("ch", lambda: gas(), t_min_c=10.0, t_max_c=-10.0)
+
+
+class TestDepropanizer:
+    def _column(self):
+        feed = Stream(20.0, Composition({"C2": 0.02, "C3": 0.53,
+                                         "iC4": 0.22, "nC4": 0.23}),
+                      -5.0, 3900.0)
+        return Depropanizer(
+            "col", feed=lambda: feed,
+            distillate_valve=ControlValve("d", 30.0, 23.0,
+                                          actuator_tau_sec=0.0),
+            bottoms_valve=ControlValve("b", 40.0, 21.0,
+                                       actuator_tau_sec=0.0),
+            overhead_gas_valve=ControlValve("g", 20.0, 16.0,
+                                            actuator_tau_sec=0.0))
+
+    def test_bottoms_low_in_propane(self):
+        column = self._column()
+        for _ in range(600):
+            column.step(1.0)
+        assert column.bottoms_propane_fraction() < 0.15
+        assert column.distillate_out.composition["C3"] > 0.5
+
+    def test_levels_respond_to_valves(self):
+        column = self._column()
+        column.bottoms_valve.set_command(0.0)
+        start = column.sump_level_pct
+        for _ in range(200):
+            column.step(1.0)
+        assert column.sump_level_pct > start
+
+    def test_pressure_rises_when_gas_valve_closes(self):
+        column = self._column()
+        for _ in range(100):
+            column.step(1.0)
+        p0 = column.pressure_kpa
+        column.overhead_gas_valve.set_command(0.0)
+        for _ in range(200):
+            column.step(1.0)
+        assert column.pressure_kpa > p0
+
+    def test_reboil_duty_raises_temperature(self):
+        column = self._column()
+        column.set_reboil_duty(100.0)
+        for _ in range(300):
+            column.step(1.0)
+        assert column.temperature_c == pytest.approx(110.0, abs=1.0)
+
+    def test_higher_temperature_sharpens_c3_recovery(self):
+        cold = self._column()
+        cold.set_reboil_duty(0.0)
+        hot = self._column()
+        hot.set_reboil_duty(100.0)
+        for _ in range(400):
+            cold.step(1.0)
+            hot.step(1.0)
+        assert hot._overhead_recovery("C3") > cold._overhead_recovery("C3")
+
+
+class TestVaporHeader:
+    def test_pressure_integrates_imbalance(self):
+        inlet = gas(flow=100.0)
+        valve = ControlValve("v", cv_mol_s=200.0, initial_opening_pct=0.0,
+                             actuator_tau_sec=0.0)
+        header = VaporHeader("hdr", lambda: inlet, valve,
+                             pressure_kpa=3800.0)
+        p0 = header.pressure_kpa
+        for _ in range(10):
+            header.step(1.0)
+        assert header.pressure_kpa > p0  # inflow, no outflow
+
+    def test_wide_open_valve_bleeds_pressure(self):
+        inlet = gas(flow=50.0)
+        valve = ControlValve("v", cv_mol_s=400.0,
+                             initial_opening_pct=100.0,
+                             actuator_tau_sec=0.0)
+        header = VaporHeader("hdr", lambda: inlet, valve,
+                             pressure_kpa=3800.0)
+        for _ in range(50):
+            header.step(1.0)
+        assert header.pressure_kpa < 3800.0
+
+
+class TestHilBridge:
+    def test_sensor_registers_track_plant(self):
+        engine = Engine()
+        plant = NaturalGasPlant()
+        plant.settle(800.0)
+        bridge = HilBridge(engine, plant, plant_dt_ticks=500 * MS)
+        bridge.start()
+        engine.run_until(3 * SEC)
+        level = bridge.read_sensor("lts_level_pct")
+        assert level == pytest.approx(plant.flowsheet.read("lts_level_pct"),
+                                      abs=0.1)
+
+    def test_actuator_write_reaches_plant(self):
+        engine = Engine()
+        plant = NaturalGasPlant()
+        plant.settle(800.0)
+        plant.disable_local_control("lts_level")
+        bridge = HilBridge(engine, plant, plant_dt_ticks=500 * MS)
+        bridge.start()
+        address = bridge.actuator_address("lts_liquid_valve_pct")
+        bridge.link.write_async(address, 42.0)
+        engine.run_until(5 * SEC)
+        assert plant.lts_valve.command_pct == pytest.approx(42.0, abs=0.1)
+
+    def test_register_values_quantized_16bit(self):
+        engine = Engine()
+        plant = NaturalGasPlant()
+        plant.settle(800.0)
+        bridge = HilBridge(engine, plant)
+        address = bridge.sensor_address("lts_level_pct")
+        raw = bridge.image.read_raw(address)
+        assert 0 <= raw <= 0xFFFF
+
+    def test_modbus_latency_applies(self):
+        engine = Engine()
+        plant = NaturalGasPlant()
+        plant.settle(800.0)
+        bridge = HilBridge(engine, plant, plant_dt_ticks=500 * MS,
+                           modbus_transaction_ticks=5 * MS)
+        bridge.start()
+        # The register copy lags the plant by one serial transaction: step
+        # at 500 ms publishes at 505 ms.
+        engine.run_until(502 * MS)
+        assert bridge.link.transactions > 0

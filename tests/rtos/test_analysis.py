@@ -1,0 +1,143 @@
+"""Schedulability analysis: bounds, exact RTA, priority assignment."""
+
+import math
+
+import pytest
+
+from repro.rtos.analysis import (
+    admission_test,
+    assign_rate_monotonic_priorities,
+    hyperbolic_bound_test,
+    liu_layland_bound,
+    liu_layland_test,
+    response_time_analysis,
+    utilization,
+)
+from repro.rtos.task import TaskSpec
+from repro.sim.clock import MS
+
+
+def spec(name, wcet, period, priority=None, deadline=None):
+    return TaskSpec(name, wcet_ticks=wcet, period_ticks=period,
+                    priority=priority if priority is not None else period,
+                    deadline_ticks=deadline)
+
+
+class TestBounds:
+    def test_liu_layland_known_values(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+        assert liu_layland_bound(2) == pytest.approx(0.8284, abs=1e-3)
+        assert liu_layland_bound(3) == pytest.approx(0.7798, abs=1e-3)
+
+    def test_bound_decreases_to_ln2(self):
+        assert liu_layland_bound(1000) == pytest.approx(math.log(2),
+                                                        abs=1e-3)
+
+    def test_utilization_sum(self):
+        tasks = [spec("a", 2 * MS, 10 * MS), spec("b", 5 * MS, 50 * MS)]
+        assert utilization(tasks) == pytest.approx(0.3)
+
+    def test_liu_layland_accepts_low_utilization(self):
+        assert liu_layland_test([spec("a", 1 * MS, 10 * MS),
+                                 spec("b", 1 * MS, 10 * MS)])
+
+    def test_liu_layland_rejects_high_utilization(self):
+        assert not liu_layland_test([spec("a", 5 * MS, 10 * MS),
+                                     spec("b", 5 * MS, 10 * MS)])
+
+    def test_hyperbolic_tighter_than_liu_layland(self):
+        # U1 = U2 = 0.45: sum 0.9 > LL bound, but (1.45)^2 = 2.1025 > 2
+        # fails hyperbolic too; pick 0.41: (1.41)^2 = 1.988 < 2 passes HB
+        # while 0.82 fails LL(2) = 0.828... so use 0.413 each: sum 0.826
+        tasks = [spec("a", 413, 1000), spec("b", 413, 1000)]
+        assert hyperbolic_bound_test(tasks)
+
+    def test_empty_task_set_schedulable(self):
+        assert liu_layland_test([])
+        assert response_time_analysis([]).schedulable
+
+
+class TestResponseTimeAnalysis:
+    def test_single_task_response_is_wcet(self):
+        report = response_time_analysis([spec("a", 2 * MS, 10 * MS)])
+        assert report.schedulable
+        assert report.response_times["a"] == 2 * MS
+
+    def test_classic_example(self):
+        # Buttazzo-style: C=(1,2,3), T=(4,8,12), RM priorities.
+        tasks = [spec("t1", 1, 4, priority=1),
+                 spec("t2", 2, 8, priority=2),
+                 spec("t3", 3, 12, priority=3)]
+        report = response_time_analysis(tasks)
+        assert report.schedulable
+        assert report.response_times["t1"] == 1
+        assert report.response_times["t2"] == 3
+        # t3: R = 3 + ceil(R/4)*1 + ceil(R/8)*2 -> fixpoint 7
+        assert report.response_times["t3"] == 7
+
+    def test_unschedulable_detected(self):
+        tasks = [spec("t1", 5, 10, priority=1),
+                 spec("t2", 6, 12, priority=2)]
+        report = response_time_analysis(tasks)
+        assert not report.schedulable
+        assert "t2" in report.failing_tasks
+
+    def test_over_unit_utilization_fast_path(self):
+        tasks = [spec("t1", 9, 10), spec("t2", 9, 10)]
+        report = response_time_analysis(tasks)
+        assert not report.schedulable
+        assert "utilization" in report.reason
+
+    def test_constrained_deadline(self):
+        ok = response_time_analysis(
+            [spec("t", 3, 10, deadline=5)]).schedulable
+        assert ok
+        bad = response_time_analysis(
+            [spec("t", 3, 10, deadline=2)]).schedulable
+        assert not bad
+
+    def test_same_priority_peers_interfere(self):
+        tasks = [spec("a", 6, 10, priority=1),
+                 spec("b", 6, 10, priority=1)]
+        assert not response_time_analysis(tasks).schedulable
+
+    def test_sporadic_tasks_ignored(self):
+        tasks = [spec("p", 2 * MS, 10 * MS),
+                 TaskSpec("sporadic", wcet_ticks=100 * MS)]
+        report = response_time_analysis(tasks)
+        assert report.schedulable
+        assert "sporadic" not in report.response_times
+
+    def test_admission_test(self):
+        existing = [spec("a", 2, 10, priority=1)]
+        assert admission_test(existing, spec("b", 2, 10, priority=2))
+        assert not admission_test(existing, spec("c", 9, 10, priority=2))
+
+    def test_report_bool(self):
+        assert response_time_analysis([spec("a", 1, 10)])
+        assert not response_time_analysis([spec("a", 9, 10),
+                                           spec("b", 9, 10)])
+
+
+class TestPriorityAssignment:
+    def test_rate_monotonic_order(self):
+        tasks = [spec("slow", 1, 100, priority=0),
+                 spec("fast", 1, 10, priority=9),
+                 spec("mid", 1, 50, priority=5)]
+        reassigned = assign_rate_monotonic_priorities(tasks)
+        by_name = {t.name: t.priority for t in reassigned}
+        assert by_name["fast"] < by_name["mid"] < by_name["slow"]
+
+    def test_sporadic_keeps_priority(self):
+        tasks = [spec("p", 1, 10), TaskSpec("s", wcet_ticks=5, priority=3)]
+        reassigned = assign_rate_monotonic_priorities(tasks)
+        sporadic = next(t for t in reassigned if t.name == "s")
+        assert sporadic.priority == 3
+
+    def test_rm_makes_unschedulable_set_schedulable(self):
+        """Inverted priorities fail; RM ordering fixes them."""
+        inverted = [spec("fast", 4, 10, priority=9),
+                    spec("slow", 10, 100, priority=1)]
+        assert not response_time_analysis(inverted).schedulable
+        fixed = assign_rate_monotonic_priorities(inverted)
+        assert response_time_analysis(fixed).schedulable

@@ -1,0 +1,161 @@
+"""nano-RK kernel facade: admission, RAM budgets, network metering, crash."""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.rtos.kernel import AdmissionRefused, NanoRK
+from repro.rtos.reservations import NetworkReservation
+from repro.rtos.task import TaskSpec
+from repro.sim.clock import MS, SEC
+
+
+class _FakeMac:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, packet):
+        self.sent.append(packet)
+        return True
+
+    def stop(self):
+        pass
+
+    def set_receive_handler(self, fn):
+        pass
+
+
+class TestTaskLifecycle:
+    def test_create_and_run(self, engine, node):
+        kernel = NanoRK(engine, node)
+        runs = []
+        kernel.create_task(
+            TaskSpec("t", wcet_ticks=1 * MS, period_ticks=10 * MS),
+            lambda tcb: runs.append(engine.now))
+        engine.run_until(50 * MS)
+        assert len(runs) == 5
+
+    def test_stack_charged_to_ram(self, engine, node):
+        kernel = NanoRK(engine, node)
+        free_before = node.mcu.ram.free
+        kernel.create_task(
+            TaskSpec("t", wcet_ticks=1 * MS, period_ticks=10 * MS,
+                     stack_bytes=512), None)
+        assert node.mcu.ram.free == free_before - 512
+        kernel.kill_task("t")
+        assert node.mcu.ram.free == free_before
+
+    def test_admission_refusal(self, engine, node):
+        kernel = NanoRK(engine, node)
+        kernel.create_task(
+            TaskSpec("big", wcet_ticks=8 * MS, period_ticks=10 * MS,
+                     priority=1), None)
+        with pytest.raises(AdmissionRefused):
+            kernel.create_task(
+                TaskSpec("too-much", wcet_ticks=5 * MS,
+                         period_ticks=10 * MS, priority=2), None)
+        assert not kernel.has_task("too-much")
+
+    def test_admission_refusal_releases_ram(self, engine, node):
+        kernel = NanoRK(engine, node)
+        kernel.create_task(
+            TaskSpec("big", wcet_ticks=8 * MS, period_ticks=10 * MS,
+                     priority=1), None)
+        free_before = node.mcu.ram.free
+        with pytest.raises(AdmissionRefused):
+            kernel.create_task(
+                TaskSpec("x", wcet_ticks=5 * MS, period_ticks=10 * MS,
+                         priority=2), None)
+        assert node.mcu.ram.free == free_before
+
+    def test_admit_flag_bypasses_test(self, engine, node):
+        kernel = NanoRK(engine, node)
+        kernel.create_task(
+            TaskSpec("a", wcet_ticks=8 * MS, period_ticks=10 * MS,
+                     priority=1), None)
+        kernel.create_task(
+            TaskSpec("b", wcet_ticks=5 * MS, period_ticks=10 * MS,
+                     priority=2), None, admit=False)
+        assert kernel.has_task("b")
+
+    def test_can_admit_probe(self, engine, node):
+        kernel = NanoRK(engine, node)
+        kernel.create_task(
+            TaskSpec("a", wcet_ticks=2 * MS, period_ticks=10 * MS,
+                     priority=1), None)
+        assert kernel.can_admit(
+            TaskSpec("ok", wcet_ticks=2 * MS, period_ticks=10 * MS,
+                     priority=2))
+        assert not kernel.can_admit(
+            TaskSpec("no", wcet_ticks=9 * MS, period_ticks=10 * MS,
+                     priority=2))
+
+
+class TestNetworkMetering:
+    def test_reservation_enforced(self, engine, node):
+        kernel = NanoRK(engine, node)
+        mac = _FakeMac()
+        kernel.attach_mac(mac)
+        kernel.create_task(
+            TaskSpec("t", wcet_ticks=1 * MS, period_ticks=100 * MS), None)
+        kernel.set_network_reservation("t", NetworkReservation(2, 1 * SEC))
+        packet = Packet(src="n1", dst="x", kind="d", size_bytes=8)
+        assert kernel.send_packet("t", packet)
+        assert kernel.send_packet("t", packet)
+        assert not kernel.send_packet("t", packet)
+        assert kernel.network_sends_refused == 1
+
+    def test_replenishment_restores_budget(self, engine, node):
+        kernel = NanoRK(engine, node)
+        kernel.attach_mac(_FakeMac())
+        kernel.create_task(
+            TaskSpec("t", wcet_ticks=1 * MS, period_ticks=100 * MS), None)
+        kernel.set_network_reservation("t", NetworkReservation(1, 1 * SEC))
+        packet = Packet(src="n1", dst="x", kind="d", size_bytes=8)
+        assert kernel.send_packet("t", packet)
+        assert not kernel.send_packet("t", packet)
+        engine.run_until(1100 * MS)
+        assert kernel.send_packet("t", packet)
+
+    def test_unreserved_task_unrestricted(self, engine, node):
+        kernel = NanoRK(engine, node)
+        kernel.attach_mac(_FakeMac())
+        kernel.create_task(
+            TaskSpec("t", wcet_ticks=1 * MS, period_ticks=100 * MS), None)
+        packet = Packet(src="n1", dst="x", kind="d", size_bytes=8)
+        assert all(kernel.send_packet("t", packet) for _ in range(50))
+
+    def test_no_mac_raises(self, engine, node):
+        kernel = NanoRK(engine, node)
+        kernel.create_task(
+            TaskSpec("t", wcet_ticks=1 * MS, period_ticks=100 * MS), None)
+        with pytest.raises(RuntimeError):
+            kernel.send_packet("t", Packet(src="n", dst="x", kind="d"))
+
+
+class TestCrash:
+    def test_crash_halts_everything(self, engine, node):
+        kernel = NanoRK(engine, node)
+        mac = _FakeMac()
+        kernel.attach_mac(mac)
+        runs = []
+        kernel.create_task(
+            TaskSpec("t", wcet_ticks=1 * MS, period_ticks=10 * MS),
+            lambda tcb: runs.append(engine.now))
+        engine.run_until(25 * MS)
+        kernel.crash()
+        engine.run_until(100 * MS)
+        assert len(runs) == 3  # bodies at 1, 11, 21 ms; none after crash
+        assert node.failed
+
+    def test_crashed_kernel_rejects_operations(self, engine, node):
+        kernel = NanoRK(engine, node)
+        kernel.crash()
+        with pytest.raises(RuntimeError):
+            kernel.create_task(
+                TaskSpec("t", wcet_ticks=1, period_ticks=10), None)
+
+    def test_crash_idempotent(self, engine, node):
+        kernel = NanoRK(engine, node)
+        kernel.crash()
+        kernel.crash()
+        assert kernel.crashed

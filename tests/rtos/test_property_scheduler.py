@@ -1,0 +1,119 @@
+"""Property-based tests: RTA soundness against the simulated scheduler.
+
+The central invariant: if exact response-time analysis declares a synchronous
+periodic task-set schedulable, the event-driven scheduler must not miss a
+single deadline over a hyperperiod-scale window -- and the measured worst
+response time must not exceed the analytical one.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rtos.analysis import response_time_analysis
+from repro.rtos.scheduler import Scheduler
+from repro.rtos.task import TaskSpec, Tcb
+from repro.sim.clock import MS
+from repro.sim.engine import Engine
+
+
+@st.composite
+def task_sets(draw):
+    """Small task-sets with rate-monotonic priorities and bounded load."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    periods = draw(st.lists(
+        st.sampled_from([4, 5, 8, 10, 16, 20, 40]),
+        min_size=n, max_size=n))
+    specs = []
+    for i, period in enumerate(sorted(periods)):
+        wcet = draw(st.integers(min_value=1,
+                                max_value=max(1, period // 3)))
+        specs.append(TaskSpec(f"t{i}", wcet_ticks=wcet * MS,
+                              period_ticks=period * MS, priority=i))
+    return specs
+
+
+@settings(max_examples=40, deadline=None)
+@given(task_sets())
+def test_rta_schedulable_implies_no_misses(specs):
+    report = response_time_analysis(specs)
+    if not report.schedulable:
+        return  # only the soundness direction is claimed
+    engine = Engine()
+    scheduler = Scheduler(engine)
+    tcbs = [Tcb(spec) for spec in specs]
+    for tcb in tcbs:
+        scheduler.add_task(tcb)
+    hyper = math.lcm(*(s.period_ticks for s in specs))
+    engine.run_until(min(3 * hyper, 2_000 * MS))
+    for tcb in tcbs:
+        assert tcb.deadline_misses == 0, (
+            f"{tcb.name} missed deadlines in an RTA-schedulable set")
+
+
+@settings(max_examples=40, deadline=None)
+@given(task_sets())
+def test_measured_response_never_exceeds_rta(specs):
+    report = response_time_analysis(specs)
+    if not report.schedulable:
+        return
+    engine = Engine()
+    scheduler = Scheduler(engine)
+    worst: dict[str, int] = {}
+    tcbs = []
+    for spec in specs:
+        tcb = Tcb(spec)
+        tcbs.append(tcb)
+        scheduler.add_task(tcb)
+    # Track response times through completion trace events.
+    from repro.sim.trace import Trace
+
+    trace = Trace()
+    scheduler.trace = trace
+    hyper = math.lcm(*(s.period_ticks for s in specs))
+    engine.run_until(min(3 * hyper, 2_000 * MS))
+    for event in trace.events("rtos.complete"):
+        task = event.data["task"]
+        worst[task] = max(worst.get(task, 0), event.data["response"])
+    for name, measured in worst.items():
+        assert measured <= report.response_times[name], (
+            f"{name}: measured {measured} > analytical "
+            f"{report.response_times[name]}")
+
+
+@settings(max_examples=30, deadline=None)
+@given(task_sets(), st.integers(min_value=1, max_value=5))
+def test_work_conservation(specs, window_periods):
+    """Total executed time never exceeds elapsed wall time."""
+    engine = Engine()
+    scheduler = Scheduler(engine)
+    tcbs = [Tcb(spec) for spec in specs]
+    for tcb in tcbs:
+        scheduler.add_task(tcb)
+    horizon = window_periods * max(s.period_ticks for s in specs)
+    engine.run_until(horizon)
+    total = sum(t.total_executed_ticks for t in tcbs)
+    assert total <= horizon
+    assert scheduler.total_busy_ticks == total
+
+
+@settings(max_examples=30, deadline=None)
+@given(task_sets())
+def test_highest_priority_task_always_meets_wcet_response(specs):
+    """The top-priority task's response time equals its WCET exactly."""
+    engine = Engine()
+    scheduler = Scheduler(engine)
+    from repro.sim.trace import Trace
+
+    trace = Trace()
+    scheduler.trace = trace
+    tcbs = [Tcb(spec) for spec in specs]
+    for tcb in tcbs:
+        scheduler.add_task(tcb)
+    engine.run_until(500 * MS)
+    top = min(specs, key=lambda s: (s.priority, s.period_ticks))
+    responses = [e.data["response"]
+                 for e in trace.events("rtos.complete")
+                 if e.data["task"] == top.name]
+    assert responses
+    assert all(r == top.wcet_ticks for r in responses)

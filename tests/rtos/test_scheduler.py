@@ -1,0 +1,249 @@
+"""Preemptive fixed-priority scheduler: preemption, throttling, deadlines."""
+
+import pytest
+
+from repro.rtos.reservations import CpuReservation
+from repro.rtos.task import TaskSpec, TaskState, Tcb
+from repro.rtos.scheduler import Scheduler
+from repro.sim.clock import MS, SEC
+
+
+def make(engine, trace=None):
+    return Scheduler(engine, node_id="n", trace=trace)
+
+
+class TestBasicExecution:
+    def test_periodic_jobs_complete(self, engine):
+        sched = make(engine)
+        tcb = Tcb(TaskSpec("t", wcet_ticks=2 * MS, period_ticks=10 * MS))
+        sched.add_task(tcb)
+        engine.run_until(99 * MS)
+        assert tcb.jobs_released == 10  # releases at 0, 10, ..., 90 ms
+        assert tcb.jobs_completed == 10
+        assert tcb.deadline_misses == 0
+
+    def test_body_runs_at_completion(self, engine):
+        sched = make(engine)
+        times = []
+        tcb = Tcb(TaskSpec("t", wcet_ticks=3 * MS, period_ticks=10 * MS),
+                  body=lambda tcb: times.append(engine.now))
+        sched.add_task(tcb)
+        engine.run_until(25 * MS)
+        assert times == [3 * MS, 13 * MS, 23 * MS]
+
+    def test_offset_delays_first_release(self, engine):
+        sched = make(engine)
+        tcb = Tcb(TaskSpec("t", wcet_ticks=1 * MS, period_ticks=10 * MS,
+                           offset_ticks=5 * MS))
+        sched.add_task(tcb)
+        engine.run_until(14 * MS)
+        assert tcb.jobs_released == 1
+
+    def test_duplicate_task_rejected(self, engine):
+        sched = make(engine)
+        sched.add_task(Tcb(TaskSpec("t", wcet_ticks=1, period_ticks=10)))
+        with pytest.raises(ValueError):
+            sched.add_task(Tcb(TaskSpec("t", wcet_ticks=1, period_ticks=10)))
+
+    def test_body_exception_contained(self, engine, trace):
+        sched = make(engine)
+        sched.trace = trace
+
+        def bad_body(tcb):
+            raise RuntimeError("controller bug")
+
+        tcb = Tcb(TaskSpec("t", wcet_ticks=1 * MS, period_ticks=10 * MS),
+                  body=bad_body)
+        sched.add_task(tcb)
+        engine.run_until(25 * MS)
+        assert tcb.jobs_completed == 3  # completes despite body fault
+        assert trace.count("rtos.task_fault") == 3
+
+
+class TestPreemption:
+    def test_higher_priority_preempts(self, engine):
+        sched = make(engine)
+        finish = {}
+        low = Tcb(TaskSpec("low", wcet_ticks=10 * MS, period_ticks=100 * MS,
+                           priority=5),
+                  body=lambda t: finish.setdefault("low", engine.now))
+        high = Tcb(TaskSpec("high", wcet_ticks=2 * MS, period_ticks=100 * MS,
+                            priority=1, offset_ticks=3 * MS),
+                   body=lambda t: finish.setdefault("high", engine.now))
+        sched.add_task(low)
+        sched.add_task(high)
+        engine.run_until(50 * MS)
+        # high released at 3 ms, preempts, finishes at 5 ms;
+        # low resumes and finishes at 12 ms.
+        assert finish["high"] == 5 * MS
+        assert finish["low"] == 12 * MS
+        assert sched.preemptions == 1
+
+    def test_equal_priority_no_preemption(self, engine):
+        sched = make(engine)
+        finish = {}
+        a = Tcb(TaskSpec("a", wcet_ticks=5 * MS, period_ticks=100 * MS,
+                         priority=3),
+                body=lambda t: finish.setdefault("a", engine.now))
+        b = Tcb(TaskSpec("b", wcet_ticks=5 * MS, period_ticks=100 * MS,
+                         priority=3, offset_ticks=1 * MS),
+                body=lambda t: finish.setdefault("b", engine.now))
+        sched.add_task(a)
+        sched.add_task(b)
+        engine.run_until(50 * MS)
+        assert finish["a"] == 5 * MS  # ran to completion
+        assert finish["b"] == 10 * MS
+        assert sched.preemptions == 0
+
+    def test_preempted_work_is_conserved(self, engine):
+        sched = make(engine)
+        low = Tcb(TaskSpec("low", wcet_ticks=10 * MS, period_ticks=50 * MS,
+                           priority=5))
+        high = Tcb(TaskSpec("high", wcet_ticks=1 * MS, period_ticks=5 * MS,
+                            priority=1))
+        sched.add_task(low)
+        sched.add_task(high)
+        engine.run_until(50 * MS)
+        assert low.jobs_completed == 1
+        assert low.total_executed_ticks == 10 * MS
+
+
+class TestDeadlines:
+    def test_overrun_detected(self, engine, trace):
+        sched = make(engine, trace)
+        # Two tasks that cannot both fit: low misses.
+        high = Tcb(TaskSpec("high", wcet_ticks=8 * MS, period_ticks=10 * MS,
+                            priority=1))
+        low = Tcb(TaskSpec("low", wcet_ticks=5 * MS, period_ticks=20 * MS,
+                           priority=5))
+        sched.add_task(high)
+        sched.add_task(low)
+        engine.run_until(100 * MS)
+        assert low.deadline_misses > 0
+        assert trace.count("rtos.deadline_miss") == low.deadline_misses
+
+    def test_schedulable_set_never_misses(self, engine):
+        sched = make(engine)
+        tcbs = [Tcb(TaskSpec("t1", wcet_ticks=1 * MS, period_ticks=4 * MS,
+                             priority=1)),
+                Tcb(TaskSpec("t2", wcet_ticks=2 * MS, period_ticks=8 * MS,
+                             priority=2)),
+                Tcb(TaskSpec("t3", wcet_ticks=3 * MS, period_ticks=12 * MS,
+                             priority=3))]
+        for tcb in tcbs:
+            sched.add_task(tcb)
+        engine.run_until(1 * SEC)
+        assert all(t.deadline_misses == 0 for t in tcbs)
+
+
+class TestReservationThrottling:
+    def test_budget_limits_execution(self, engine):
+        sched = make(engine)
+        hog = Tcb(TaskSpec("hog", wcet_ticks=8 * MS, period_ticks=10 * MS,
+                           priority=1))
+        sched.add_task(hog, CpuReservation(4 * MS, 10 * MS))
+        engine.run_until(100 * MS)
+        # 4 ms budget per 10 ms: each 8 ms job takes two budget periods.
+        assert hog.jobs_completed == 5
+
+    def test_throttling_protects_lower_priority(self, engine):
+        sched = make(engine)
+        hog = Tcb(TaskSpec("hog", wcet_ticks=9 * MS, period_ticks=10 * MS,
+                           priority=1))
+        meek = Tcb(TaskSpec("meek", wcet_ticks=2 * MS, period_ticks=20 * MS,
+                            priority=5))
+        sched.add_task(hog, CpuReservation(5 * MS, 10 * MS))
+        sched.add_task(meek)
+        engine.run_until(200 * MS)
+        # Without the reservation the hog (prio 1, U=0.9) would starve meek.
+        assert meek.deadline_misses == 0
+        assert meek.jobs_completed == 10
+
+    def test_throttle_trace(self, engine, trace):
+        sched = make(engine, trace)
+        hog = Tcb(TaskSpec("hog", wcet_ticks=8 * MS, period_ticks=10 * MS))
+        sched.add_task(hog, CpuReservation(4 * MS, 10 * MS))
+        engine.run_until(50 * MS)
+        assert trace.count("rtos.throttle") > 0
+
+
+class TestTaskManagement:
+    def test_remove_task_stops_releases(self, engine):
+        sched = make(engine)
+        tcb = Tcb(TaskSpec("t", wcet_ticks=1 * MS, period_ticks=10 * MS))
+        sched.add_task(tcb)
+        engine.run_until(25 * MS)
+        sched.remove_task("t")
+        engine.run_until(100 * MS)
+        assert tcb.jobs_released == 3
+        assert tcb.state is TaskState.FINISHED
+
+    def test_remove_running_task(self, engine):
+        sched = make(engine)
+        tcb = Tcb(TaskSpec("t", wcet_ticks=50 * MS, period_ticks=100 * MS))
+        sched.add_task(tcb)
+        engine.run_until(10 * MS)  # mid-job
+        sched.remove_task("t")
+        engine.run_until(200 * MS)
+        assert tcb.jobs_completed == 0
+        assert sched.running_task is None
+
+    def test_suspend_skips_releases(self, engine):
+        sched = make(engine)
+        tcb = Tcb(TaskSpec("t", wcet_ticks=1 * MS, period_ticks=10 * MS))
+        sched.add_task(tcb)
+        engine.run_until(25 * MS)
+        sched.suspend_task("t")
+        engine.run_until(75 * MS)
+        released_while_suspended = tcb.jobs_released
+        sched.resume_task("t")
+        engine.run_until(150 * MS)
+        assert released_while_suspended == 3
+        assert tcb.jobs_released > 3
+
+    def test_sporadic_job(self, engine):
+        sched = make(engine)
+        runs = []
+        tcb = Tcb(TaskSpec("aperiodic", wcet_ticks=5 * MS, priority=2),
+                  body=lambda t: runs.append(engine.now))
+        sched.add_task(tcb)
+        engine.run_until(10 * MS)
+        assert runs == []
+        sched.spawn_job("aperiodic")
+        engine.run_until(20 * MS)
+        assert runs == [15 * MS]
+
+    def test_halt_stops_everything(self, engine):
+        sched = make(engine)
+        tcb = Tcb(TaskSpec("t", wcet_ticks=1 * MS, period_ticks=10 * MS))
+        sched.add_task(tcb)
+        engine.run_until(25 * MS)
+        sched.halt()
+        engine.run_until(100 * MS)
+        assert tcb.jobs_released == 3
+
+    def test_utilization_now(self, engine):
+        sched = make(engine)
+        sched.add_task(Tcb(TaskSpec("a", wcet_ticks=2 * MS,
+                                    period_ticks=10 * MS)))
+        sched.add_task(Tcb(TaskSpec("b", wcet_ticks=1 * MS,
+                                    period_ticks=10 * MS)))
+        assert sched.utilization_now() == pytest.approx(0.3)
+        sched.suspend_task("b")
+        assert sched.utilization_now() == pytest.approx(0.2)
+
+
+class TestEnergyAccounting:
+    def test_busy_time_draws_active_current(self, engine):
+        from repro.hardware.battery import Battery
+
+        battery = Battery(engine)
+        sched = Scheduler(engine, battery=battery,
+                          active_current_a=6e-3, idle_current_a=2e-3)
+        tcb = Tcb(TaskSpec("t", wcet_ticks=5 * MS, period_ticks=10 * MS))
+        sched.add_task(tcb)
+        engine.run_until(100 * MS)
+        sched.finalize_energy_accounting()
+        # 50 ms busy at 6 mA + 50 ms idle at 2 mA = 0.4 mC total
+        expected = 6e-3 * 0.05 + 2e-3 * 0.05
+        assert battery.charge_drawn == pytest.approx(expected, rel=0.05)

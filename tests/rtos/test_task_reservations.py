@@ -1,0 +1,131 @@
+"""Task specs, TCB images, reservations."""
+
+import pytest
+
+from repro.rtos.reservations import (
+    CpuReservation,
+    EnergyReservation,
+    NetworkReservation,
+    ReservationError,
+)
+from repro.rtos.task import TaskSpec, TaskState, Tcb
+from repro.sim.clock import MS
+
+
+class TestTaskSpec:
+    def test_implicit_deadline_is_period(self):
+        spec = TaskSpec("t", wcet_ticks=1 * MS, period_ticks=10 * MS)
+        assert spec.effective_deadline == 10 * MS
+
+    def test_explicit_deadline(self):
+        spec = TaskSpec("t", wcet_ticks=1 * MS, period_ticks=10 * MS,
+                        deadline_ticks=5 * MS)
+        assert spec.effective_deadline == 5 * MS
+
+    def test_utilization(self):
+        spec = TaskSpec("t", wcet_ticks=2 * MS, period_ticks=10 * MS)
+        assert spec.utilization == pytest.approx(0.2)
+
+    def test_sporadic_has_no_utilization(self):
+        spec = TaskSpec("t", wcet_ticks=1 * MS)
+        assert spec.utilization == 0.0
+        with pytest.raises(ValueError):
+            _ = spec.effective_deadline
+
+    def test_wcet_exceeding_period_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSpec("t", wcet_ticks=20 * MS, period_ticks=10 * MS)
+
+    def test_nonpositive_wcet_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSpec("t", wcet_ticks=0, period_ticks=10 * MS)
+
+    def test_with_priority(self):
+        spec = TaskSpec("t", wcet_ticks=1 * MS, period_ticks=10 * MS,
+                        priority=9)
+        assert spec.with_priority(1).priority == 1
+        assert spec.priority == 9  # original untouched
+
+
+class TestTcbImage:
+    def _tcb(self):
+        spec = TaskSpec("ctrl", wcet_ticks=2 * MS, period_ticks=250 * MS,
+                        stack_bytes=128)
+        tcb = Tcb(spec)
+        tcb.data["memory"] = [1.0, 2.5, -3.0]
+        tcb.registers["pc"] = 14
+        tcb.stack[0:4] = b"\xde\xad\xbe\xef"
+        tcb.jobs_released = 7
+        tcb.jobs_completed = 6
+        tcb.last_completion_time = 1_000_000
+        return tcb
+
+    def test_snapshot_restore_roundtrip(self):
+        source = self._tcb()
+        image = source.snapshot_image()
+        target = Tcb(TaskSpec("ctrl", wcet_ticks=1 * MS,
+                              period_ticks=100 * MS))
+        target.restore_image(image)
+        assert target.spec == source.spec
+        assert target.data == source.data
+        assert target.registers == source.registers
+        assert bytes(target.stack) == bytes(source.stack)
+        assert target.jobs_completed == 6
+
+    def test_snapshot_is_deep_for_data(self):
+        tcb = self._tcb()
+        image = tcb.snapshot_image()
+        tcb.data["memory"] = [9.0]
+        assert image["data"]["memory"] == [1.0, 2.5, -3.0]
+
+    def test_image_size_scales_with_stack(self):
+        small = Tcb(TaskSpec("a", wcet_ticks=1, period_ticks=10,
+                             stack_bytes=64))
+        large = Tcb(TaskSpec("b", wcet_ticks=1, period_ticks=10,
+                             stack_bytes=1024))
+        assert large.image_size_bytes() > small.image_size_bytes() + 900
+
+
+class TestReservations:
+    def test_cpu_budget_consumption(self):
+        res = CpuReservation(5 * MS, 100 * MS)
+        assert res.consume(3 * MS)
+        assert res.available() == 2 * MS
+        assert not res.consume(3 * MS)
+        assert res.overrun_attempts == 1
+
+    def test_consume_upto(self):
+        res = CpuReservation(5 * MS, 100 * MS)
+        granted = res.consume_upto(8 * MS)
+        assert granted == 5 * MS
+        assert res.exhausted
+
+    def test_replenish_restores(self):
+        res = CpuReservation(5 * MS, 100 * MS)
+        res.consume_upto(5 * MS)
+        res.replenish()
+        assert res.available() == 5 * MS
+        assert res.replenish_count == 1
+
+    def test_utilization(self):
+        assert CpuReservation(5 * MS, 100 * MS).utilization == \
+            pytest.approx(0.05)
+
+    def test_network_try_send(self):
+        res = NetworkReservation(2, 1000 * MS)
+        assert res.try_send()
+        assert res.try_send()
+        assert not res.try_send()
+
+    def test_energy_try_spend(self):
+        res = EnergyReservation(1.0, 1000 * MS)
+        assert res.try_spend(0.6)
+        assert not res.try_spend(0.6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReservationError):
+            CpuReservation(0, 100)
+        with pytest.raises(ReservationError):
+            CpuReservation(10, 0)
+        with pytest.raises(ReservationError):
+            CpuReservation(10, 100).consume(-1)

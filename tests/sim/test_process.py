@@ -1,0 +1,182 @@
+"""Processes: delays, signals, timeouts, kill semantics."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.process import TIMEOUT, Delay, Process, Signal, WaitSignal
+
+
+class TestDelay:
+    def test_sequence_of_delays(self, engine):
+        times = []
+
+        def worker():
+            for _ in range(3):
+                yield Delay(100)
+                times.append(engine.now)
+
+        Process(engine, worker())
+        engine.run()
+        assert times == [100, 200, 300]
+
+    def test_zero_delay_resumes_same_time(self, engine):
+        times = []
+
+        def worker():
+            yield Delay(0)
+            times.append(engine.now)
+
+        Process(engine, worker())
+        engine.run()
+        assert times == [0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(-1)
+
+    def test_result_captured(self, engine):
+        def worker():
+            yield Delay(10)
+            return 42
+
+        proc = Process(engine, worker())
+        engine.run()
+        assert proc.result == 42
+        assert not proc.alive
+
+
+class TestSignal:
+    def test_signal_payload_delivered(self, engine):
+        sig = Signal("ready")
+        got = []
+
+        def waiter():
+            payload = yield WaitSignal(sig)
+            got.append(payload)
+
+        Process(engine, waiter())
+        engine.schedule(50, sig.fire, "hello")
+        engine.run()
+        assert got == ["hello"]
+
+    def test_signal_wakes_all_waiters(self, engine):
+        sig = Signal()
+        woken = []
+
+        def waiter(name):
+            yield WaitSignal(sig)
+            woken.append(name)
+
+        Process(engine, waiter("a"))
+        Process(engine, waiter("b"))
+        engine.schedule(10, sig.fire, None)
+        engine.run()
+        assert sorted(woken) == ["a", "b"]
+
+    def test_signal_does_not_buffer(self, engine):
+        sig = Signal()
+        got = []
+        # Fire before anyone waits: nothing is delivered later.
+        sig.fire("lost")
+
+        def late_waiter():
+            payload = yield WaitSignal(sig, timeout=100)
+            got.append(payload)
+
+        Process(engine, late_waiter())
+        engine.run()
+        assert got == [TIMEOUT]
+
+    def test_unsubscribe(self):
+        sig = Signal()
+        calls = []
+        unsub = sig.wait(calls.append)
+        unsub()
+        sig.fire(1)
+        assert calls == []
+        unsub()  # idempotent
+
+    def test_fire_count(self):
+        sig = Signal()
+        sig.fire(1)
+        sig.fire(2)
+        assert sig.fire_count == 2
+        assert sig.last_payload == 2
+
+
+class TestTimeout:
+    def test_timeout_returns_sentinel(self, engine):
+        sig = Signal()
+        got = []
+
+        def waiter():
+            result = yield WaitSignal(sig, timeout=100)
+            got.append((result, engine.now))
+
+        Process(engine, waiter())
+        engine.run()
+        assert got == [(TIMEOUT, 100)]
+        assert not TIMEOUT  # falsy for easy checks
+
+    def test_signal_beats_timeout(self, engine):
+        sig = Signal()
+        got = []
+
+        def waiter():
+            result = yield WaitSignal(sig, timeout=100)
+            got.append(result)
+
+        Process(engine, waiter())
+        engine.schedule(50, sig.fire, "fast")
+        engine.run()
+        assert got == ["fast"]
+
+    def test_no_double_resume(self, engine):
+        sig = Signal()
+        resumes = []
+
+        def waiter():
+            result = yield WaitSignal(sig, timeout=50)
+            resumes.append(result)
+            yield Delay(1000)
+
+        Process(engine, waiter())
+        engine.schedule(50, sig.fire, "same-tick")
+        engine.run()
+        assert len(resumes) == 1
+
+
+class TestKill:
+    def test_killed_process_stops(self, engine):
+        progress = []
+
+        def worker():
+            while True:
+                yield Delay(10)
+                progress.append(engine.now)
+
+        proc = Process(engine, worker())
+        engine.schedule(35, proc.kill)
+        engine.run()
+        assert progress == [10, 20, 30]
+        assert not proc.alive
+
+    def test_kill_removes_signal_waiter(self, engine):
+        sig = Signal()
+
+        def worker():
+            yield WaitSignal(sig)
+
+        proc = Process(engine, worker())
+        engine.run(max_events=1)
+        assert sig.waiter_count == 1
+        proc.kill()
+        assert sig.waiter_count == 0
+
+    def test_bad_yield_raises(self, engine):
+        def worker():
+            yield "not a request"
+
+        Process(engine, worker())
+        with pytest.raises(SimulationError):
+            engine.run()
