@@ -19,6 +19,7 @@ Run:  python examples/assembly_line_retooling.py
 """
 
 import random
+import zlib
 
 from repro.control.compiler import compile_passthrough
 from repro.evm.capsule import Capsule
@@ -68,7 +69,8 @@ def build_line(engine):
         vc.admit(VcMember(station, frozenset({"controller", station})))
     for station in STATIONS:
         node = FireFlyNode(engine, station, with_sensors=False,
-                           rng=random.Random(hash(station) % 100))
+                           rng=random.Random(
+                               zlib.crc32(station.encode()) % 100))
         kernel = NanoRK(engine, node)
         mac = _LoopbackMac(station, registry)
         kernel.attach_mac(mac)

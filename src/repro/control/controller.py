@@ -9,7 +9,7 @@ and experiments can use either interchangeably.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.control.compiler import (
     MEMORY_SLOTS,

@@ -13,7 +13,7 @@ Component without per-node flashing.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.evm.bytecode import Program

@@ -22,7 +22,7 @@ and MAC.  Together the runtimes implement the Virtual Component machinery:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.evm.bytecode import Program
@@ -49,7 +49,7 @@ from repro.evm.virtual_component import VcMember, VirtualComponent
 from repro.net.packet import BROADCAST, Packet
 from repro.rtos.kernel import AdmissionRefused, NanoRK
 from repro.rtos.task import TaskSpec, Tcb
-from repro.sim.clock import MS, SEC
+from repro.sim.clock import MS
 from repro.sim.trace import Trace
 
 EVM_TASK_NAME = "EVM"

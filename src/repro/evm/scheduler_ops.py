@@ -28,7 +28,6 @@ from repro.evm.tasks import LogicalTask
 from repro.rtos.analysis import (
     AnalysisReport,
     assign_rate_monotonic_priorities,
-    response_time_analysis,
 )
 from repro.rtos.reservations import (
     CpuReservation,

@@ -10,10 +10,9 @@ node actually runs it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.rtos.task import TaskSpec
-from repro.sim.clock import MS
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ the degradation claim (C3).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.evm.optimizer import (
     AssignmentProblem,

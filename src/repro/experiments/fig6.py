@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments.hil import (
-    CTRL_A,
     CTRL_B,
     HilConfig,
     HilRig,
@@ -97,10 +96,29 @@ class Fig6Result:
         return "\n".join(lines)
 
 
+def build_scenario(config: Fig6Config):
+    """The paper's timeline as a declarative scenario: one wedged-output
+    fault on the active controller at T1."""
+    # Imported here: repro.scenarios.spec depends on repro.experiments.hil,
+    # so a module-level import would close a cycle through this package's
+    # __init__.
+    from repro.scenarios.faults import OutputWedge
+    from repro.scenarios.spec import Scenario
+
+    return Scenario(
+        "fig6b-failover", hil=config.hil, seed=config.hil.seed,
+        duration_sec=config.duration_sec,
+        sample_period_sec=config.sample_period_sec,
+        description="Fig. 6(b) wedged-primary failover timeline",
+        tags=("paper", "failover"),
+    ).at(config.t1_fault_sec,
+         OutputWedge(TASK_CTRL, config.fault_value_pct))
+
+
 def run_fig6(config: Fig6Config | None = None) -> Fig6Result:
     """Run the scenario; returns recorded series and event times."""
     config = config or Fig6Config()
-    rig = HilRig(config.hil)
+    rig = HilRig(scenario=build_scenario(config))
     result = Fig6Result()
 
     def sample() -> None:
@@ -114,9 +132,6 @@ def run_fig6(config: Fig6Config | None = None) -> Fig6Result:
         rig.engine.schedule(int(config.sample_period_sec * SEC), sample)
 
     rig.engine.schedule(int(config.sample_period_sec * SEC), sample)
-    rig.engine.schedule(int(config.t1_fault_sec * SEC),
-                        rig.inject_controller_fault,
-                        config.fault_value_pct)
     rig.run_for_seconds(config.duration_sec)
 
     _extract_events(rig, result)

@@ -23,10 +23,9 @@ objective of 1/3 of the 250 ms control cycle.
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.control.compiler import SLOT_INPUT, SLOT_OUTPUT
+from repro.control.compiler import SLOT_INPUT, SLOT_OUTPUT, SLOT_SETPOINT
 from repro.control.controller import ControlLawConfig
 from repro.evm.capsule import Capsule
 from repro.evm.failover import ControllerMode, FailoverPolicy
@@ -87,9 +86,32 @@ class HilConfig:
 
 
 class HilRig:
-    """Builds and owns the full stack for one scenario run."""
+    """Builds and owns the full stack for one scenario run.
 
-    def __init__(self, config: HilConfig | None = None) -> None:
+    Accepts either a bare :class:`HilConfig` or a declarative
+    :class:`repro.scenarios.spec.Scenario` (positionally or via the
+    ``scenario`` keyword).  With a scenario, the rig derives its config
+    from the spec (the scenario seed wins) and arms a
+    :class:`~repro.scenarios.injector.FaultInjector` so the fault
+    schedule fires as engine events during the run -- experiments,
+    examples, integration tests, and campaign sweeps all drive this one
+    entry point.
+    """
+
+    def __init__(self, config: HilConfig | None = None, *,
+                 scenario=None) -> None:
+        if scenario is None and config is not None:
+            # Deferred import (as below): repro.scenarios.spec imports
+            # this module, so it cannot be imported at module load.
+            from repro.scenarios.spec import Scenario
+
+            if isinstance(config, Scenario):
+                scenario, config = config, None
+        if scenario is not None:
+            if config is not None:
+                raise ValueError("pass either a config or a scenario")
+            config = scenario.build_config()
+        self.scenario = scenario
         self.config = config or HilConfig()
         self.engine = Engine()
         self.trace = Trace()
@@ -99,6 +121,12 @@ class HilRig:
         self._build_vc()
         self._build_runtimes()
         self._wire_io()
+        self.injector = None
+        if scenario is not None:
+            from repro.scenarios.injector import FaultInjector
+
+            self.injector = FaultInjector(self, scenario)
+            self.injector.arm()
         self._started = False
 
     # ------------------------------------------------------------------
@@ -381,6 +409,16 @@ class HilRig:
     def active_controller(self) -> str:
         """The actuator's current view of who commands the valve."""
         return self.runtimes[ACTUATOR].task_primaries[TASK_CTRL][0]
+
+    def commanded_setpoint(self) -> float:
+        """The setpoint the active controller is regulating to right now
+        (parametric retunes move it mid-run; control-quality metrics must
+        score against the commanded value, not the pre-run default)."""
+        instance = self.runtimes[self.active_controller()] \
+            .instances.get(TASK_CTRL)
+        if instance is not None and len(instance.memory) > SLOT_SETPOINT:
+            return instance.memory[SLOT_SETPOINT]
+        return self.loop.config.setpoint
 
     def controller_mode(self, node_id: str) -> ControllerMode:
         return self.runtimes[node_id].instances[TASK_CTRL].mode

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.sim.clock import MS, SEC
+from repro.sim.clock import MS
 
 
 def mean(values: list[float]) -> float:

@@ -55,6 +55,22 @@ class Battery:
             raise BatteryDepleted(
                 f"battery depleted after {self.charge_drawn:.1f} C")
 
+    def drain_fraction(self, fraction: float) -> None:
+        """Instantly consume ``fraction`` of the *rated* capacity.
+
+        Fault-injection hook (sudden load, cell damage, cold snap): the
+        charge disappears without an associated current-over-time draw, so
+        lifetime projections keep reflecting the observed duty cycle.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0,1], got {fraction}")
+        self.charge_drawn = max(self.charge_drawn, min(
+            self.spec.capacity_coulombs,
+            self.charge_drawn + fraction * self.spec.capacity_coulombs))
+        if self.raise_when_empty and self.depleted:
+            raise BatteryDepleted(
+                f"battery depleted after {self.charge_drawn:.1f} C")
+
     @property
     def remaining_coulombs(self) -> float:
         return max(0.0, self.spec.capacity_coulombs - self.charge_drawn)

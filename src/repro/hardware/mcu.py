@@ -8,7 +8,7 @@ model exactly those.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.clock import SEC
 

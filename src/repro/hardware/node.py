@@ -9,7 +9,7 @@ passive hardware container.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hardware.battery import Battery, BatterySpec
 from repro.hardware.mcu import Mcu, McuSpec

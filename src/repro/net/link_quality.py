@@ -23,9 +23,27 @@ class LinkQualityModel:
                        rng: random.Random) -> bool:
         raise NotImplementedError
 
+    def frame_survives_link(self, sender: str, receiver: str,
+                            distance_m: float, size_bytes: int,
+                            rng: random.Random) -> bool:
+        """Link-identity-aware survival; defaults to :meth:`frame_survives`.
+
+        The medium always calls this entry point.  Models that treat every
+        link alike ignore the endpoint ids; wrappers such as
+        :class:`DegradedLinks` use them to target specific links.
+        """
+        return self.frame_survives(distance_m, size_bytes, rng)
+
     def expected_prr(self, distance_m: float, size_bytes: int = 32) -> float:
         """Expected packet reception ratio (diagnostics/benchmarks)."""
         raise NotImplementedError
+
+    def expected_prr_link(self, sender: str, receiver: str,
+                          distance_m: float, size_bytes: int = 32) -> float:
+        """Link-identity-aware expected PRR; defaults to
+        :meth:`expected_prr`.  Diagnostics that know which link they ask
+        about should use this so per-link wrappers are visible."""
+        return self.expected_prr(distance_m, size_bytes)
 
 
 class PerfectLinks(LinkQualityModel):
@@ -53,6 +71,71 @@ class FixedPrr(LinkQualityModel):
 
     def expected_prr(self, distance_m: float, size_bytes: int = 32) -> float:
         return self.prr
+
+
+class DegradedLinks(LinkQualityModel):
+    """Fault-injection wrapper: multiply a base model's survival by ``prr``.
+
+    A frame survives only if the base model delivers it AND an extra
+    Bernoulli draw at ``prr`` passes.  With ``links`` given, only those
+    (unordered) node pairs are degraded; otherwise every link is.  The
+    wrapper stays installed when the fault window closes -- reverting just
+    flips :attr:`active` -- so overlapping fault windows restore cleanly in
+    any order.
+
+    Targeted (``links``-scoped) degradation is only visible through the
+    link-aware entry points (``frame_survives_link`` -- which the medium
+    always uses -- and ``expected_prr_link``); the legacy link-unaware
+    ``frame_survives``/``expected_prr`` cannot know the endpoints and
+    report the base model's behavior.
+    """
+
+    def __init__(self, base: LinkQualityModel, prr: float,
+                 links: tuple[tuple[str, str], ...] | None = None) -> None:
+        if not 0.0 <= prr <= 1.0:
+            raise ValueError(f"PRR must be in [0,1], got {prr}")
+        self.base = base
+        self.prr = prr
+        self.links = (frozenset(frozenset(pair) for pair in links)
+                      if links else None)
+        self.active = True
+
+    def _degrades(self, sender: str, receiver: str) -> bool:
+        if not self.active:
+            return False
+        if self.links is None:
+            return True
+        return frozenset((sender, receiver)) in self.links
+
+    def frame_survives(self, distance_m: float, size_bytes: int,
+                       rng: random.Random) -> bool:
+        survives = self.base.frame_survives(distance_m, size_bytes, rng)
+        if self.active and self.links is None:
+            return survives and rng.random() < self.prr
+        return survives
+
+    def frame_survives_link(self, sender: str, receiver: str,
+                            distance_m: float, size_bytes: int,
+                            rng: random.Random) -> bool:
+        survives = self.base.frame_survives_link(
+            sender, receiver, distance_m, size_bytes, rng)
+        if self._degrades(sender, receiver):
+            return survives and rng.random() < self.prr
+        return survives
+
+    def expected_prr(self, distance_m: float, size_bytes: int = 32) -> float:
+        base = self.base.expected_prr(distance_m, size_bytes)
+        if self.active and self.links is None:
+            return base * self.prr
+        return base
+
+    def expected_prr_link(self, sender: str, receiver: str,
+                          distance_m: float, size_bytes: int = 32) -> float:
+        base = self.base.expected_prr_link(sender, receiver, distance_m,
+                                           size_bytes)
+        if self._degrades(sender, receiver):
+            return base * self.prr
+        return base
 
 
 class PathLossModel(LinkQualityModel):

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 
 from repro.hardware.radio import RadioState
 from repro.net.mac.base import MacProtocol
-from repro.net.packet import Packet
 from repro.sim.clock import MS, US
 from repro.sim.process import Delay, Process
 

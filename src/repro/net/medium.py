@@ -14,8 +14,8 @@ transmitting drives the TX state for the full airtime).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.hardware.node import FireFlyNode
 from repro.hardware.radio import RadioState
@@ -164,9 +164,10 @@ class Medium:
                                   sender=tx.sender)
             return
         distance = self.topology.distance(tx.sender, receiver_id)
-        if not self.link_model.frame_survives(distance,
-                                              tx.packet.on_air_bytes,
-                                              self.rng):
+        if not self.link_model.frame_survives_link(tx.sender, receiver_id,
+                                                   distance,
+                                                   tx.packet.on_air_bytes,
+                                                   self.rng):
             self.stats.channel_losses += 1
             if self.trace is not None:
                 self.trace.record(self.engine.now, "medium.loss", receiver_id,

@@ -15,8 +15,8 @@ the workstation running Unisim and RT-Link to the wireless side.  We model:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.net.mac.base import MacProtocol
 from repro.net.packet import Packet

@@ -8,7 +8,7 @@ pressure.  All flows are mol/s, temperatures degC, pressures kPa(a).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

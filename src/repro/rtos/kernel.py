@@ -9,7 +9,7 @@ it a "super task" in the paper's architecture (Fig. 3).
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Callable
 
 from repro.hardware.node import FireFlyNode
 from repro.net.mac.base import MacProtocol
@@ -21,7 +21,7 @@ from repro.rtos.reservations import (
     NetworkReservation,
 )
 from repro.rtos.scheduler import Scheduler
-from repro.rtos.task import TaskSpec, TaskState, Tcb
+from repro.rtos.task import TaskSpec, Tcb
 from repro.sim.engine import Engine
 from repro.sim.trace import Trace
 
@@ -48,7 +48,10 @@ class NanoRK:
             idle_current_a=node.mcu.spec.idle_current_a, trace=trace)
         self.network_reservations: dict[str, NetworkReservation] = {}
         self.energy_reservations: dict[str, EnergyReservation] = {}
-        self._net_replenish_scheduled: set[str] = set()
+        # Bumped on every crash so surviving replenish closures from the
+        # previous life die at their next firing instead of doubling up
+        # with the chains a restart() re-creates.
+        self._net_epoch = 0
         self.mac: MacProtocol | None = None
         self.network_sends_refused = 0
         self.crashed = False
@@ -152,10 +155,12 @@ class NanoRK:
         reservation = self.network_reservations.get(name)
         if reservation is None or self.crashed:
             return
+        epoch = self._net_epoch
 
         def replenish() -> None:
             current = self.network_reservations.get(name)
-            if current is not reservation or self.crashed:
+            if current is not reservation or self.crashed \
+                    or epoch != self._net_epoch:
                 return
             reservation.replenish()
             self.engine.schedule(reservation.period_ticks, replenish)
@@ -190,12 +195,35 @@ class NanoRK:
         if self.crashed:
             return
         self.crashed = True
+        self._net_epoch += 1
         self.scheduler.halt()
         self.node.fail()
         if self.mac is not None:
             self.mac.stop()
         if self.trace is not None:
             self.trace.record(self.engine.now, "rtos.crash", self.node_id)
+
+    def restart(self) -> None:
+        """Reboot after :meth:`crash`: clear the fault, resume the
+        scheduler's release chains, bring the MAC back up.
+
+        Application state in task bodies survives (it lives in the hosted
+        EVM instances); the node simply rejoins the network and lets the
+        component's mode/epoch machinery sort out its role.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.node.recover()
+        self.scheduler.restart()
+        # Network replenishment chains died with the crash (epoch bump);
+        # rebuild one per reservation so sends are metered, not starved.
+        for name in self.network_reservations:
+            self._schedule_net_replenish(name)
+        if self.mac is not None:
+            self.mac.start()
+        if self.trace is not None:
+            self.trace.record(self.engine.now, "rtos.restart", self.node_id)
 
     def _ensure_alive(self) -> None:
         if self.crashed:

@@ -17,11 +17,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable
 
 from repro.rtos.reservations import CpuReservation
 from repro.rtos.task import TaskSpec, TaskState, Tcb
-from repro.sim.clock import SEC
 from repro.sim.engine import Engine, EventHandle
 from repro.sim.trace import Trace
 
@@ -194,6 +192,36 @@ class Scheduler:
         for _key, job in self._ready:
             job.cancelled = True
         self._ready.clear()
+        # Throttled jobs die with the crash too -- otherwise the first
+        # replenishment after a restart() would resurrect a pre-crash job
+        # with its long-expired deadline.
+        for jobs in self._throttled.values():
+            for job in jobs:
+                job.cancelled = True
+            jobs.clear()
+
+    def restart(self) -> None:
+        """Resume after :meth:`halt` (node reboot).
+
+        Periodic release chains restart from *now* -- a rebooted node has
+        lost its old phase -- and reservation replenishment resumes one
+        period out.  In-flight jobs from before the crash are gone.
+        """
+        if not self.halted:
+            return
+        self.halted = False
+        self._current = None
+        self._slice_event = None
+        for tcb in self.tasks.values():
+            if tcb.state is TaskState.SUSPENDED:
+                continue
+            if tcb.spec.period_ticks is not None:
+                tcb.state = TaskState.SLEEPING
+                self._release_events[tcb.name] = self.engine.schedule(
+                    tcb.spec.offset_ticks, self._release, tcb, priority=-5)
+        for name, reservation in self.cpu_reservations.items():
+            self._replenish_events[name] = self.engine.schedule(
+                reservation.period_ticks, self._replenish, name, priority=-6)
 
     def finalize_energy_accounting(self) -> None:
         """Charge idle current for all non-busy time up to now."""

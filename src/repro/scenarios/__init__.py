@@ -1,0 +1,62 @@
+"""Scenario & fault-injection campaigns.
+
+The robustness claims of the paper are exercised here as *data*, not
+hand-written test scripts: a :class:`Scenario` declares a rig
+configuration, a seed, and a timed schedule of composable fault
+primitives; the :class:`FaultInjector` fires them as discrete-event
+callbacks against the live stack; and the :class:`CampaignRunner` sweeps
+scenario x seed x parameter grids across worker processes into a JSON
+results store with per-scenario aggregate statistics.
+"""
+
+from repro.scenarios.faults import (
+    BabblingInterferer,
+    BatteryDrain,
+    CapsuleRetune,
+    CapsuleUpgrade,
+    ClockDrift,
+    Fault,
+    LinkDegrade,
+    NodeCrash,
+    NodeRecover,
+    OutputWedge,
+)
+from repro.scenarios.injector import FaultInjector
+from repro.scenarios.metrics import RunMetrics, collect
+from repro.scenarios.runner import (
+    CampaignResult,
+    CampaignRunner,
+    format_summary_table,
+    run_scenario,
+    summarize,
+)
+from repro.scenarios.spec import Scenario, ScheduledFault, sweep
+from repro.scenarios.store import ResultsStore
+from repro.scenarios.stock import stock_names, stock_scenario
+
+__all__ = [
+    "BabblingInterferer",
+    "BatteryDrain",
+    "CampaignResult",
+    "CampaignRunner",
+    "CapsuleRetune",
+    "CapsuleUpgrade",
+    "ClockDrift",
+    "Fault",
+    "FaultInjector",
+    "LinkDegrade",
+    "NodeCrash",
+    "NodeRecover",
+    "OutputWedge",
+    "ResultsStore",
+    "RunMetrics",
+    "Scenario",
+    "ScheduledFault",
+    "collect",
+    "format_summary_table",
+    "run_scenario",
+    "stock_names",
+    "stock_scenario",
+    "summarize",
+    "sweep",
+]

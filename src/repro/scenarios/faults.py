@@ -1,0 +1,251 @@
+"""Composable fault primitives.
+
+Each primitive is a frozen dataclass describing one thing that goes wrong
+(or right again) at a point in simulated time, with an ``apply(rig)`` hook
+the :class:`~repro.scenarios.injector.FaultInjector` fires as an engine
+event.  Primitives target a specific layer of the stack:
+
+=====================  ==================================================
+:class:`NodeCrash`     RTOS/hardware -- kernel halt, radio off
+:class:`NodeRecover`   RTOS/hardware -- reboot a crashed node
+:class:`LinkDegrade`   medium -- multiply per-frame survival on links
+:class:`BabblingInterferer`  MAC/EVM -- forged data frames on the channel
+:class:`ClockDrift`    time sync -- crystal error step change
+:class:`BatteryDrain`  hardware -- instant charge loss, optional brown-out
+:class:`CapsuleRetune` EVM -- remote parametric poke (setpoints, gains)
+:class:`CapsuleUpgrade`  EVM -- over-the-air control-law dissemination
+:class:`OutputWedge`   EVM -- wedge a task's published output (Fig. 6 T1)
+=====================  ==================================================
+
+Being plain dataclasses they pickle cleanly, so whole fault schedules ship
+to :class:`~repro.scenarios.runner.CampaignRunner` worker processes, and
+``dataclasses.asdict`` serializes them into the JSON results store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.net.link_quality import DegradedLinks
+from repro.net.packet import BROADCAST, Packet
+from repro.sim.clock import MS, SEC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.hil import HilRig
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base class; subclasses override :meth:`apply`."""
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def apply(self, rig: "HilRig") -> None:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Node-level faults (RTOS / hardware layers)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NodeCrash(Fault):
+    """Hard-fail one node: scheduler halted, radio off, queues dead."""
+
+    node: str
+
+    def apply(self, rig: "HilRig") -> None:
+        rig.kernels[self.node].crash()
+
+
+@dataclass(frozen=True)
+class NodeRecover(Fault):
+    """Reboot a crashed node; it rejoins the TDMA schedule and the VC."""
+
+    node: str
+
+    def apply(self, rig: "HilRig") -> None:
+        rig.kernels[self.node].restart()
+
+
+@dataclass(frozen=True)
+class ClockDrift(Fault):
+    """Step one node's crystal error to ``drift_ppm`` (thermal runaway,
+    aging).  Between AM sync pulses its local clock now wanders faster."""
+
+    node: str
+    drift_ppm: float
+
+    def apply(self, rig: "HilRig") -> None:
+        rig.nodes[self.node].clock.drift_ppm = self.drift_ppm
+
+
+@dataclass(frozen=True)
+class BatteryDrain(Fault):
+    """Instantly consume ``fraction`` of a node's rated battery capacity.
+
+    With ``crash_on_depletion`` (default), a drain that empties the cell
+    browns the node out -- the cascading-battery-death stock scenario
+    chains these to walk through the controller replicas.
+    """
+
+    node: str
+    fraction: float
+    crash_on_depletion: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(
+                f"fraction must be in [0,1], got {self.fraction}")
+
+    def apply(self, rig: "HilRig") -> None:
+        battery = rig.nodes[self.node].battery
+        battery.drain_fraction(self.fraction)
+        if self.crash_on_depletion and battery.depleted:
+            rig.kernels[self.node].crash()
+
+
+# ----------------------------------------------------------------------
+# Channel-level faults (medium layer)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LinkDegrade(Fault):
+    """Multiply per-frame survival by ``prr`` on ``links`` (all if empty).
+
+    ``prr=0.0`` on the links around one node is a network partition;
+    ``prr=0.9`` everywhere is the paper's lossy-plant-floor condition.
+    A ``duration_sec`` window reverts automatically; windows may overlap
+    and revert in any order.
+    """
+
+    prr: float
+    links: tuple[tuple[str, str], ...] = ()
+    duration_sec: float | None = None
+
+    def __post_init__(self) -> None:
+        # Fail at scenario declaration, not mid-run inside the engine.
+        if not 0.0 <= self.prr <= 1.0:
+            raise ValueError(f"PRR must be in [0,1], got {self.prr}")
+        if self.duration_sec is not None and self.duration_sec <= 0:
+            raise ValueError(
+                f"duration must be positive, got {self.duration_sec}")
+
+    def apply(self, rig: "HilRig") -> None:
+        wrapper = DegradedLinks(rig.medium.link_model, self.prr,
+                                self.links or None)
+        rig.medium.link_model = wrapper
+        if self.duration_sec is not None:
+            def revert() -> None:
+                wrapper.active = False
+            rig.engine.schedule(int(self.duration_sec * SEC), revert)
+
+
+@dataclass(frozen=True)
+class BabblingInterferer(Fault):
+    """A compromised node periodically forges ``evm.data`` frames claiming
+    to be ``task``'s output toward ``consumer`` -- the operation switch at
+    the receiver is the line of defense (paper's OS security argument)."""
+
+    node: str
+    task: str
+    consumer: str
+    value: float = 99.0
+    slot: int = 1  # SLOT_OUTPUT in the standard slot layout
+    period_ms: int = 500
+    duration_sec: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.period_ms <= 0:
+            raise ValueError(
+                f"period must be positive, got {self.period_ms} ms")
+        if self.duration_sec is not None and self.duration_sec <= 0:
+            raise ValueError(
+                f"duration must be positive, got {self.duration_sec}")
+
+    def apply(self, rig: "HilRig") -> None:
+        kernel = rig.kernels[self.node]
+        stop_at = (rig.engine.now + int(self.duration_sec * SEC)
+                   if self.duration_sec is not None else None)
+
+        def babble() -> None:
+            if kernel.crashed:
+                return
+            if stop_at is not None and rig.engine.now >= stop_at:
+                return
+            packet = Packet(src=self.node, dst=BROADCAST, kind="evm.data",
+                            payload={
+                                "task": self.task,
+                                "consumer": self.consumer,
+                                "values": [(self.slot, 0, self.value)],
+                                "sent_at": rig.engine.now,
+                                "epoch": 0,
+                            }, size_bytes=20)
+            kernel.send_packet("EVM", packet)
+            rig.engine.schedule(self.period_ms * MS, babble)
+
+        babble()
+
+
+# ----------------------------------------------------------------------
+# EVM-level faults and interventions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OutputWedge(Fault):
+    """Wedge a task's published output at ``value`` (the Fig. 6(b) T1
+    fault).  ``node=None`` targets whichever replica is currently ACTIVE."""
+
+    task: str
+    value: float
+    node: str | None = None
+    slot: int = 1  # SLOT_OUTPUT
+
+    def apply(self, rig: "HilRig") -> None:
+        node = self.node
+        if node is None:
+            views = [runtime.task_primaries[self.task]
+                     for runtime in rig.runtimes.values()
+                     if self.task in runtime.task_primaries]
+            if not views:
+                raise ValueError(
+                    f"no runtime knows a primary for task {self.task!r}; "
+                    f"cannot resolve OutputWedge target")
+            # Views can diverge under loss; trust the highest epoch (the
+            # most recent arbitration any node has heard of).
+            node, _epoch = max(views, key=lambda view: view[1])
+        rig.runtimes[node].inject_output_fault(self.task, self.slot,
+                                               self.value)
+
+
+@dataclass(frozen=True)
+class CapsuleRetune(Fault):
+    """Remote parametric control: poke one memory slot of every hosted
+    instance of ``task`` (setpoint moves, gain retunes) from ``from_node``."""
+
+    task: str
+    slot: int
+    value: float
+    from_node: str = "gw"
+
+    def apply(self, rig: "HilRig") -> None:
+        rig.runtimes[self.from_node].poke_remote(self.task, self.slot,
+                                                 self.value)
+
+
+@dataclass(frozen=True)
+class CapsuleUpgrade(Fault):
+    """Runtime reprogramming: recompile the rig's control law as a new
+    capsule version and disseminate it over the air from ``from_node``."""
+
+    version: int
+    program_name: str = "lts_ctrl_law"
+    from_node: str = "gw"
+
+    def apply(self, rig: "HilRig") -> None:
+        from repro.evm.capsule import Capsule
+
+        program = rig.control_config.compile(self.program_name)
+        capsule = Capsule.from_program(program, version=self.version)
+        rig.runtimes[self.from_node].install_capsule(capsule,
+                                                     disseminate=True)

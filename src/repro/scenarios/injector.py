@@ -1,0 +1,57 @@
+"""Applies a scenario's fault schedule to a live rig.
+
+The injector turns each :class:`~repro.scenarios.spec.ScheduledFault` into
+a discrete-event-engine callback, records every application in the rig's
+trace (category ``scenario.fault``), and keeps an applied-faults log the
+metrics collector reads for failover-latency measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.scenarios.spec import Scenario, ScheduledFault
+from repro.sim.clock import SEC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.hil import HilRig
+
+
+@dataclass(frozen=True)
+class AppliedFault:
+    """One fault as it actually fired."""
+
+    time_ticks: int
+    kind: str
+    detail: str
+
+
+class FaultInjector:
+    """Schedules and fires a scenario's faults against one rig."""
+
+    def __init__(self, rig: "HilRig", scenario: Scenario) -> None:
+        self.rig = rig
+        self.scenario = scenario
+        self.applied: list[AppliedFault] = []
+        self._armed = False
+
+    def arm(self) -> None:
+        """Schedule every fault as an engine event (idempotent)."""
+        if self._armed:
+            return
+        self._armed = True
+        for item in self.scenario.sorted_schedule():
+            self.rig.engine.schedule(int(item.at_sec * SEC),
+                                     self._fire, item)
+
+    def _fire(self, item: ScheduledFault) -> None:
+        item.fault.apply(self.rig)
+        now = self.rig.engine.now
+        self.applied.append(AppliedFault(now, item.fault.kind,
+                                         repr(item.fault)))
+        self.rig.trace.record(now, "scenario.fault", "injector",
+                              kind=item.fault.kind, detail=repr(item.fault))
+
+    def applied_times_sec(self) -> list[float]:
+        return [entry.time_ticks / SEC for entry in self.applied]

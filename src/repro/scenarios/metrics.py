@@ -1,0 +1,130 @@
+"""Per-run metrics extracted from a finished scenario run.
+
+Everything here is a pure function of the rig's deterministic end state
+(trace, stats counters, sampled series), so a scenario replayed with the
+same seed yields a bit-identical :class:`RunMetrics` -- the property the
+campaign store's reproduce-from-seed contract rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.experiments.metrics import mean
+from repro.scenarios.spec import Scenario
+from repro.sim.clock import MS, SEC
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.hil import HilRig
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """The quantities campaigns aggregate across runs."""
+
+    scenario: str
+    seed: int
+    duration_sec: float
+    fault_times_sec: list[float]
+    # Robustness timeline
+    detection_time_sec: float | None
+    failover_time_sec: float | None
+    detection_latency_sec: float | None
+    failover_latency_sec: float | None
+    failovers_executed: int
+    failovers_failed: int
+    crashes: int
+    active_controller_final: str
+    # Network health
+    frames_sent: int
+    frames_delivered: int
+    packet_loss_ratio: float
+    collisions: int
+    rejected_by_switch: int
+    # Control quality
+    control_cost: float
+    max_excursion_pct: float
+    min_level_pct: float
+    final_level_pct: float
+    mean_io_latency_ms: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+def collect(rig: "HilRig", scenario: Scenario,
+            times_sec: list[float], levels_pct: list[float],
+            setpoints_pct: list[float] | None = None) -> RunMetrics:
+    """Extract a :class:`RunMetrics` from a rig that just finished a run.
+
+    ``setpoints_pct`` is the per-sample *commanded* setpoint series, so a
+    run that retunes the setpoint mid-flight (``CapsuleRetune``) scores
+    its control quality against what was asked for at each instant; when
+    omitted, the plant loop's static setpoint is used for every sample.
+    """
+    trace = rig.trace
+    setpoint = rig.loop.config.setpoint
+    fault_times = (rig.injector.applied_times_sec()
+                   if rig.injector is not None else [])
+
+    def first_event_sec(category: str) -> float | None:
+        matches = [e for e in trace.events(category)
+                   if e.category == category]
+        return matches[0].time / SEC if matches else None
+
+    detection = first_event_sec("evm.fault_detected")
+    failover = first_event_sec("evm.failover")
+
+    def latency(event_sec: float | None) -> float | None:
+        """Latency from the most recent fault at or before the event --
+        in a multi-fault scenario (e.g. lossy links from t=0, wedge at
+        t=20) the response is attributed to the fault that tripped it,
+        not the scenario's first perturbation.  An event that precedes
+        every fault is spurious and excluded (None), not counted as a
+        perfect 0.0."""
+        if event_sec is None:
+            return None
+        prior = [t for t in fault_times if t <= event_sec]
+        if not prior:
+            return None
+        return event_sec - max(prior)
+
+    if setpoints_pct is None:
+        setpoints_pct = [setpoint] * len(levels_pct)
+    errors = [abs(level - sp)
+              for level, sp in zip(levels_pct, setpoints_pct)]
+    medium = rig.medium.stats
+    # Receiver-side accounting: one sent frame can reach several listeners,
+    # so the loss ratio is lost-or-collided receptions over all receptions
+    # that were physically possible (sleeping radios excluded -- TDMA
+    # sleeps on purpose).
+    lost = medium.channel_losses + medium.collisions
+    attempts = medium.frames_delivered + lost
+    loss_ratio = lost / attempts if attempts else 0.0
+    return RunMetrics(
+        scenario=scenario.name,
+        seed=scenario.seed,
+        duration_sec=scenario.duration_sec,
+        fault_times_sec=fault_times,
+        detection_time_sec=detection,
+        failover_time_sec=failover,
+        detection_latency_sec=latency(detection),
+        failover_latency_sec=latency(failover),
+        failovers_executed=sum(r.stats.failovers_executed
+                               for r in rig.runtimes.values()),
+        failovers_failed=trace.count("evm.failover_failed"),
+        crashes=trace.count("rtos.crash"),
+        active_controller_final=rig.active_controller(),
+        frames_sent=medium.frames_sent,
+        frames_delivered=medium.frames_delivered,
+        packet_loss_ratio=loss_ratio,
+        collisions=medium.collisions,
+        rejected_by_switch=sum(r.stats.rejected_by_switch
+                               for r in rig.runtimes.values()),
+        control_cost=mean(errors),
+        max_excursion_pct=max(errors, default=0.0),
+        min_level_pct=min(levels_pct, default=0.0),
+        final_level_pct=levels_pct[-1] if levels_pct else 0.0,
+        mean_io_latency_ms=mean([lat / MS for lat in rig.io_latencies]),
+    )

@@ -1,0 +1,172 @@
+"""Scenario execution and parallel campaign sweeps.
+
+:func:`run_scenario` executes one :class:`~repro.scenarios.spec.Scenario`
+on a fresh HIL rig and returns its :class:`~repro.scenarios.metrics.RunMetrics`.
+:class:`CampaignRunner` fans a list of scenarios (typically a
+``sweep(...)`` grid) out across worker processes, persists one JSON record
+per run into a :class:`~repro.scenarios.store.ResultsStore`, and
+aggregates per-scenario summary statistics.
+
+Scenarios are self-contained picklable values, so the pool workers need no
+shared state: each rebuilds its rig from the spec and the recorded seed,
+which is also why any stored run can be reproduced bit-identically later.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.scenarios.metrics import RunMetrics, collect
+from repro.scenarios.spec import Scenario
+from repro.sim.clock import SEC
+
+
+def run_scenario(scenario: Scenario) -> RunMetrics:
+    """Build a rig from ``scenario``, run it to its horizon, collect
+    metrics.  Deterministic in (scenario, seed)."""
+    from repro.experiments.hil import HilRig
+
+    rig = HilRig(scenario=scenario)
+    times_sec: list[float] = []
+    levels_pct: list[float] = []
+    setpoints_pct: list[float] = []
+
+    def sample() -> None:
+        times_sec.append(rig.engine.now / SEC)
+        levels_pct.append(rig.read("lts_level_pct"))
+        setpoints_pct.append(rig.commanded_setpoint())
+        if rig.engine.now < int(scenario.duration_sec * SEC):
+            rig.engine.schedule(int(scenario.sample_period_sec * SEC),
+                                sample)
+
+    rig.engine.schedule(int(scenario.sample_period_sec * SEC), sample)
+    rig.run_for_seconds(scenario.duration_sec)
+    return collect(rig, scenario, times_sec, levels_pct, setpoints_pct)
+
+
+def _run_record(indexed: tuple[str, Scenario]) -> dict[str, Any]:
+    """Pool worker: one run -> one JSON-ready record."""
+    run_id, scenario = indexed
+    metrics = run_scenario(scenario)
+    return {"run_id": run_id, "scenario": scenario.to_dict(),
+            "metrics": metrics.to_dict()}
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.=-]+", "-", name)
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced."""
+
+    records: list[dict[str, Any]] = field(default_factory=list)
+    summary: dict[str, Any] = field(default_factory=dict)
+    store_root: str | None = None
+
+    def metrics(self) -> list[dict[str, Any]]:
+        return [record["metrics"] for record in self.records]
+
+
+class CampaignRunner:
+    """Fan a scenario grid out across processes and aggregate results.
+
+    ``max_workers=None`` uses the machine's CPU count; ``parallel=False``
+    (or a single worker) runs the grid serially in-process, which is also
+    the baseline the throughput benchmark compares against.
+    """
+
+    def __init__(self, results_dir: str | None = None,
+                 max_workers: int | None = None,
+                 parallel: bool = True) -> None:
+        self.results_dir = results_dir
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+        self.parallel = parallel and self.max_workers > 1
+
+    def run(self, scenarios: Sequence[Scenario]) -> CampaignResult:
+        jobs = [(f"{i:03d}_{_slug(s.name)}_s{s.seed}", s)
+                for i, s in enumerate(scenarios)]
+        if self.parallel:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                records = list(pool.map(_run_record, jobs))
+        else:
+            records = [_run_record(job) for job in jobs]
+        result = CampaignResult(records=records,
+                                summary=summarize(records))
+        if self.results_dir is not None:
+            from repro.scenarios.store import ResultsStore
+
+            store = ResultsStore(self.results_dir)
+            # A reused directory must describe only THIS campaign:
+            # stale records from a previous (larger) grid would silently
+            # mix into load_runs() otherwise.
+            store.clear_runs()
+            for record in records:
+                store.save_run(record["run_id"], record)
+            store.save_summary(result.summary)
+            result.store_root = str(store.root)
+        return result
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+_AGGREGATED = ("failover_latency_sec", "detection_latency_sec",
+               "packet_loss_ratio", "control_cost", "max_excursion_pct",
+               "mean_io_latency_ms")
+
+
+def _stats(values: list[float]) -> dict[str, float] | None:
+    if not values:
+        return None
+    return {"n": len(values), "mean": sum(values) / len(values),
+            "min": min(values), "max": max(values)}
+
+
+def summarize(records: list[dict[str, Any]]) -> dict[str, Any]:
+    """Per-scenario aggregate statistics over a campaign's records."""
+    by_scenario: dict[str, list[dict[str, Any]]] = {}
+    for record in records:
+        by_scenario.setdefault(record["metrics"]["scenario"],
+                               []).append(record["metrics"])
+    summary: dict[str, Any] = {"total_runs": len(records), "scenarios": {}}
+    for name, runs in sorted(by_scenario.items()):
+        entry: dict[str, Any] = {
+            "runs": len(runs),
+            "seeds": sorted(m["seed"] for m in runs),
+            "failovers_executed": sum(m["failovers_executed"]
+                                      for m in runs),
+            "crashes": sum(m["crashes"] for m in runs),
+        }
+        for key in _AGGREGATED:
+            stats = _stats([m[key] for m in runs if m[key] is not None])
+            if stats is not None:
+                entry[key] = stats
+        summary["scenarios"][name] = entry
+    return summary
+
+
+def format_summary_table(summary: dict[str, Any]) -> str:
+    """The aggregate failover-latency table campaigns print."""
+    header = (f"{'scenario':<42} {'runs':>4} {'failover lat (s)':>18} "
+              f"{'detect lat (s)':>16} {'loss':>6} {'cost':>6}")
+    lines = [header, "-" * len(header)]
+    for name, entry in summary["scenarios"].items():
+        def cell(key: str) -> str:
+            stats = entry.get(key)
+            if stats is None:
+                return "--"
+            return f"{stats['mean']:.2f}"
+
+        fo = entry.get("failover_latency_sec")
+        fo_cell = (f"{fo['mean']:6.2f} [{fo['min']:.2f}..{fo['max']:.2f}]"
+                   if fo else "--")
+        lines.append(f"{name:<42} {entry['runs']:>4} {fo_cell:>18} "
+                     f"{cell('detection_latency_sec'):>16} "
+                     f"{cell('packet_loss_ratio'):>6} "
+                     f"{cell('control_cost'):>6}")
+    return "\n".join(lines)

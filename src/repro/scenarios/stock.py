@@ -1,0 +1,182 @@
+"""The stock scenario library.
+
+Named, ready-to-run fault campaigns over the paper's six-node LTS-level
+rig.  Each factory returns a fresh :class:`~repro.scenarios.spec.Scenario`
+built on fast-failover HIL settings (short arbitration hold-off, 10 s
+dormant parking) so sweeps stay cheap; callers retune via
+``with_params``/``with_seed`` or the factory's keyword overrides.
+
+Registry access::
+
+    scenario = stock_scenario("primary-crash", seed=7)
+    for name in stock_names(): ...
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.control.compiler import SLOT_OUTPUT, SLOT_SETPOINT
+from repro.experiments.hil import (
+    ACTUATOR,
+    CTRL_A,
+    CTRL_B,
+    GATEWAY,
+    SENSOR,
+    HilConfig,
+    TASK_ACT,
+    TASK_CTRL,
+)
+from repro.scenarios.faults import (
+    BabblingInterferer,
+    BatteryDrain,
+    CapsuleRetune,
+    CapsuleUpgrade,
+    ClockDrift,
+    LinkDegrade,
+    NodeCrash,
+    NodeRecover,
+    OutputWedge,
+)
+from repro.scenarios.spec import Scenario
+from repro.sim.clock import SEC
+
+
+def fast_hil(**overrides) -> HilConfig:
+    """HIL settings tuned for quick campaigns (same spirit as the
+    integration suite): short settle, immediate arbitration, fast parking."""
+    defaults = dict(settle_sec=800.0, arbitration_holdoff_ticks=1,
+                    dormant_delay_ticks=10 * SEC)
+    defaults.update(overrides)
+    return HilConfig(**defaults)
+
+
+def primary_crash(seed: int = 1, crash_at_sec: float = 20.0,
+                  duration_sec: float = 60.0) -> Scenario:
+    """Ctrl-A drops dead mid-run; the backup must win arbitration on
+    heartbeat silence alone."""
+    return Scenario(
+        "primary-crash", hil=fast_hil(), seed=seed,
+        duration_sec=duration_sec,
+        description="hard crash of the active controller",
+        tags=("failover", "crash"),
+    ).at(crash_at_sec, NodeCrash(CTRL_A))
+
+
+def wedged_primary(seed: int = 1, fault_at_sec: float = 20.0,
+                   duration_sec: float = 60.0,
+                   wedge_pct: float = 75.0) -> Scenario:
+    """The Fig. 6(b) fault: Ctrl-A keeps talking but publishes garbage;
+    shadow-deviation detection must catch it."""
+    return Scenario(
+        "wedged-primary", hil=fast_hil(), seed=seed,
+        duration_sec=duration_sec,
+        description="active controller wedges its valve output",
+        tags=("failover", "byzantine"),
+    ).at(fault_at_sec, OutputWedge(TASK_CTRL, wedge_pct))
+
+
+def crash_and_recover(seed: int = 1, crash_at_sec: float = 15.0,
+                      recover_at_sec: float = 35.0,
+                      duration_sec: float = 70.0) -> Scenario:
+    """Ctrl-A reboots after a crash: the stale ex-primary must be fenced
+    by the operation switch while Ctrl-B keeps the loop."""
+    return Scenario(
+        "crash-and-recover", hil=fast_hil(), seed=seed,
+        duration_sec=duration_sec,
+        description="primary crashes, later reboots with stale state",
+        tags=("failover", "recovery"),
+    ).at(crash_at_sec, NodeCrash(CTRL_A)) \
+     .at(recover_at_sec, NodeRecover(CTRL_A))
+
+
+def network_partition(seed: int = 1, partition_at_sec: float = 20.0,
+                      heal_after_sec: float = 20.0,
+                      duration_sec: float = 70.0) -> Scenario:
+    """Ctrl-A is radio-islanded (all its links go dark) for a window; the
+    component must fail over, then tolerate the island rejoining."""
+    island_links = tuple((CTRL_A, other)
+                         for other in (SENSOR, CTRL_B, ACTUATOR, GATEWAY))
+    return Scenario(
+        "network-partition", hil=fast_hil(), seed=seed,
+        duration_sec=duration_sec,
+        description="active controller islanded by total link loss",
+        tags=("partition", "failover"),
+    ).at(partition_at_sec,
+         LinkDegrade(prr=0.0, links=island_links,
+                     duration_sec=heal_after_sec))
+
+
+def cascading_battery_death(seed: int = 1, first_at_sec: float = 15.0,
+                            second_at_sec: float = 35.0,
+                            duration_sec: float = 60.0) -> Scenario:
+    """Both controller replicas brown out in sequence: Ctrl-A dies and
+    the backup takes over, then Ctrl-B's cell empties too and the loop is
+    left headless -- the sweep measures how far the plant excursion runs
+    before operators would have to intervene."""
+    return Scenario(
+        "cascading-battery-death",
+        hil=fast_hil(dormant_delay_ticks=3 * SEC), seed=seed,
+        duration_sec=duration_sec,
+        description="controller batteries die one after the other",
+        tags=("battery", "cascade"),
+    ).at(first_at_sec, BatteryDrain(CTRL_A, 1.0)) \
+     .at(second_at_sec, BatteryDrain(CTRL_B, 1.0))
+
+
+def midrun_retooling_under_interference(
+        seed: int = 1, duration_sec: float = 120.0,
+        new_setpoint: float = 45.0) -> Scenario:
+    """The assembly-line-retooling story under hostile conditions: retune
+    the setpoint and ship a v2 control law while links run lossy, a
+    babbler floods forged actuation frames, and a controller crystal
+    drifts."""
+    return Scenario(
+        "midrun-retooling-under-interference", hil=fast_hil(), seed=seed,
+        duration_sec=duration_sec,
+        description="parametric retune + OTA upgrade under interference",
+        tags=("reprogramming", "interference"),
+    ).at(0.0, LinkDegrade(prr=0.9)) \
+     .at(5.0, ClockDrift(CTRL_B, drift_ppm=40.0)) \
+     .at(10.0, BabblingInterferer(node=CTRL_B, task=TASK_CTRL,
+                                  consumer=TASK_ACT, value=99.0,
+                                  slot=SLOT_OUTPUT, period_ms=500,
+                                  duration_sec=60.0)) \
+     .at(20.0, CapsuleRetune(TASK_CTRL, SLOT_SETPOINT, new_setpoint,
+                             from_node=GATEWAY)) \
+     .at(40.0, CapsuleUpgrade(version=2, from_node=GATEWAY))
+
+
+def lossy_links(seed: int = 1, prr: float = 0.9,
+                duration_sec: float = 60.0) -> Scenario:
+    """Plant-floor multipath: every link drops frames i.i.d. at 1-prr."""
+    return Scenario(
+        "lossy-links", hil=fast_hil(), seed=seed,
+        duration_sec=duration_sec,
+        description=f"uniform link degradation to PRR {prr}",
+        tags=("channel",),
+    ).at(0.0, LinkDegrade(prr=prr))
+
+
+STOCK: dict[str, Callable[..., Scenario]] = {
+    "primary-crash": primary_crash,
+    "wedged-primary": wedged_primary,
+    "crash-and-recover": crash_and_recover,
+    "network-partition": network_partition,
+    "cascading-battery-death": cascading_battery_death,
+    "midrun-retooling-under-interference":
+        midrun_retooling_under_interference,
+    "lossy-links": lossy_links,
+}
+
+
+def stock_names() -> list[str]:
+    return sorted(STOCK)
+
+
+def stock_scenario(name: str, **kwargs) -> Scenario:
+    """Instantiate a stock scenario by registry name."""
+    if name not in STOCK:
+        raise KeyError(f"unknown stock scenario {name!r}; "
+                       f"available: {stock_names()}")
+    return STOCK[name](**kwargs)

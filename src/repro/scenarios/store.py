@@ -1,0 +1,55 @@
+"""JSON persistence for campaign results.
+
+Layout under the store root::
+
+    <root>/
+      campaign.json            # campaign-level manifest + summary
+      runs/
+        <run_id>.json          # one record per run: spec + metrics
+
+Each run record carries the full scenario spec (including the seed), so
+any run can be reproduced later from its JSON alone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+
+class ResultsStore:
+    """Directory-backed store of per-run records and a campaign summary."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.runs_dir = self.root / "runs"
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+
+    def clear_runs(self) -> int:
+        """Delete all persisted run records (fresh campaign into a reused
+        directory); returns how many were removed."""
+        stale = list(self.runs_dir.glob("*.json"))
+        for path in stale:
+            path.unlink()
+        return len(stale)
+
+    def save_run(self, run_id: str, record: dict[str, Any]) -> Path:
+        path = self.runs_dir / f"{run_id}.json"
+        path.write_text(json.dumps(record, indent=2, sort_keys=True))
+        return path
+
+    def load_run(self, run_id: str) -> dict[str, Any]:
+        return json.loads((self.runs_dir / f"{run_id}.json").read_text())
+
+    def load_runs(self) -> list[dict[str, Any]]:
+        return [json.loads(path.read_text())
+                for path in sorted(self.runs_dir.glob("*.json"))]
+
+    def save_summary(self, summary: dict[str, Any]) -> Path:
+        path = self.root / "campaign.json"
+        path.write_text(json.dumps(summary, indent=2, sort_keys=True))
+        return path
+
+    def load_summary(self) -> dict[str, Any]:
+        return json.loads((self.root / "campaign.json").read_text())

@@ -2,52 +2,65 @@
 
 The EVM's reason to exist is surviving the network's failure modes:
 lossy links, babbling interferers, runtime reprogramming and parametric
-retuning, and combined fault sequences.
+retuning, and combined fault sequences.  Every fault sequence here is
+expressed through the ``repro.scenarios`` DSL -- a declarative
+:class:`Scenario` with a timed fault schedule, armed on the rig by the
+:class:`FaultInjector` -- the same machinery the campaign runner sweeps.
 """
 
 import pytest
 
 from repro.control.compiler import SLOT_OUTPUT, SLOT_SETPOINT
-from repro.evm.capsule import Capsule
 from repro.evm.failover import ControllerMode
 from repro.experiments.hil import (
     ACTUATOR,
     CTRL_A,
     CTRL_B,
     GATEWAY,
-    HilConfig,
     HilRig,
     SENSOR,
+    TASK_ACT,
     TASK_CTRL,
 )
-from repro.net.packet import BROADCAST, Packet
-from repro.sim.clock import MS, SEC
+from repro.scenarios import (
+    BabblingInterferer,
+    CapsuleRetune,
+    CapsuleUpgrade,
+    LinkDegrade,
+    NodeCrash,
+    NodeRecover,
+    OutputWedge,
+    Scenario,
+)
+from repro.scenarios.stock import fast_hil
+from repro.sim.clock import SEC
 
 
-def fast_hil(**overrides) -> HilConfig:
-    defaults = dict(settle_sec=800.0, arbitration_holdoff_ticks=1,
-                    dormant_delay_ticks=10 * SEC)
-    defaults.update(overrides)
-    return HilConfig(**defaults)
+def scenario(name: str, duration_sec: float, **hil_overrides) -> Scenario:
+    return Scenario(name, hil=fast_hil(**hil_overrides),
+                    duration_sec=duration_sec)
 
 
 class TestLossyLinks:
     def test_loop_holds_under_10pct_loss(self):
-        rig = HilRig(fast_hil(link_prr=0.9))
+        spec = scenario("loss-10pct", 60.0).at(0.0, LinkDegrade(prr=0.9))
+        rig = HilRig(spec)
         rig.run_for_seconds(60.0)
         assert rig.read("lts_level_pct") == pytest.approx(50.0, abs=2.0)
         assert rig.medium.stats.channel_losses > 0  # losses really occurred
 
     def test_failover_still_works_under_loss(self):
-        rig = HilRig(fast_hil(link_prr=0.9, detection_threshold=3))
-        rig.run_for_seconds(20.0)
-        rig.inject_controller_fault(75.0)
-        rig.run_for_seconds(30.0)
+        spec = scenario("loss-then-wedge", 50.0, detection_threshold=3) \
+            .at(0.0, LinkDegrade(prr=0.9)) \
+            .at(20.0, OutputWedge(TASK_CTRL, 75.0))
+        rig = HilRig(spec)
+        rig.run_for_seconds(50.0)
         assert rig.active_controller() == CTRL_B
         assert rig.controller_mode(CTRL_B) is ControllerMode.ACTIVE
 
     def test_heavy_loss_degrades_but_does_not_crash(self):
-        rig = HilRig(fast_hil(link_prr=0.5))
+        rig = HilRig(scenario("loss-50pct", 40.0)
+                     .at(0.0, LinkDegrade(prr=0.5)))
         rig.run_for_seconds(40.0)
         # The loop wanders more but the stack keeps operating.
         assert 30.0 < rig.read("lts_level_pct") < 70.0
@@ -60,23 +73,12 @@ class TestBabblingNode:
         ctrl_c, is physically filtered by the TDMA listen schedule; the
         backup is in the actuator's listen set, so the operation switch is
         the line of defense and must refuse every frame.)"""
-        rig = HilRig(fast_hil())
+        spec = scenario("babbler", 40.0).at(
+            10.0, BabblingInterferer(node=CTRL_B, task=TASK_CTRL,
+                                     consumer=TASK_ACT, value=99.0,
+                                     slot=SLOT_OUTPUT, period_ms=500))
+        rig = HilRig(spec)
         rig.run_for_seconds(10.0)
-        babbler = rig.kernels[CTRL_B]
-
-        def babble():
-            packet = Packet(src=CTRL_B, dst=BROADCAST, kind="evm.data",
-                            payload={
-                                "task": TASK_CTRL,
-                                "consumer": "lts_act",
-                                "values": [(SLOT_OUTPUT, 0, 99.0)],
-                                "sent_at": rig.engine.now,
-                                "epoch": 0,
-                            }, size_bytes=20)
-            babbler.send_packet("EVM", packet)
-            rig.engine.schedule(500 * MS, babble)
-
-        rig.engine.schedule(0, babble)
         rejected_before = rig.runtimes[ACTUATOR].stats.rejected_by_switch
         rig.run_for_seconds(30.0)
         assert rig.runtimes[ACTUATOR].stats.rejected_by_switch > \
@@ -90,10 +92,11 @@ class TestRuntimeReprogramming:
     def test_setpoint_retune_via_parametric_poke(self):
         """Remote parametric control: move the level setpoint 50 -> 42
         on both controllers without touching code."""
-        rig = HilRig(fast_hil())
-        rig.run_for_seconds(20.0)
-        rig.runtimes[GATEWAY].poke_remote(TASK_CTRL, SLOT_SETPOINT, 42.0)
-        rig.run_for_seconds(400.0)
+        spec = scenario("retune", 420.0).at(
+            20.0, CapsuleRetune(TASK_CTRL, SLOT_SETPOINT, 42.0,
+                                from_node=GATEWAY))
+        rig = HilRig(spec)
+        rig.run_for_seconds(420.0)
         assert rig.read("lts_level_pct") == pytest.approx(42.0, abs=1.5)
         # Both the active and backup instances follow the new setpoint.
         for ctrl in (CTRL_A, CTRL_B):
@@ -103,12 +106,10 @@ class TestRuntimeReprogramming:
     def test_control_law_upgrade_via_dissemination(self):
         """Ship a v2 control-law capsule over the air; both controllers
         pick it up on their next job (runtime reprogramming)."""
-        rig = HilRig(fast_hil())
-        rig.run_for_seconds(10.0)
-        v2_program = rig.control_config.compile("lts_ctrl_law")
-        capsule = Capsule.from_program(v2_program, version=2)
-        rig.runtimes[GATEWAY].install_capsule(capsule, disseminate=True)
-        rig.run_for_seconds(10.0)
+        spec = scenario("ota-upgrade", 40.0).at(
+            10.0, CapsuleUpgrade(version=2, from_node=GATEWAY))
+        rig = HilRig(spec)
+        rig.run_for_seconds(20.0)
         for node_id in (CTRL_A, CTRL_B, SENSOR, ACTUATOR):
             assert rig.runtimes[node_id].capsules.version_of(
                 "lts_ctrl_law") == 2, node_id
@@ -122,12 +123,13 @@ class TestCombinedFaults:
         """Double failure: Ctrl-A wedges, Ctrl-B takes over, then Ctrl-B
         crashes.  With no remaining capable backup the head logs a failed
         arbitration rather than promoting garbage."""
-        rig = HilRig(fast_hil(dormant_delay_ticks=3 * SEC))
-        rig.run_for_seconds(10.0)
-        rig.inject_controller_fault(75.0)
-        rig.run_for_seconds(10.0)
+        spec = scenario("wedge-then-crash", 35.0,
+                        dormant_delay_ticks=3 * SEC) \
+            .at(10.0, OutputWedge(TASK_CTRL, 75.0)) \
+            .at(20.0, NodeCrash(CTRL_B))
+        rig = HilRig(spec)
+        rig.run_for_seconds(20.0)
         assert rig.active_controller() == CTRL_B
-        rig.crash_node(CTRL_B)
         rig.run_for_seconds(15.0)
         failures = [e for e in rig.trace.events("evm.failover_failed")]
         assert failures, "head should report exhausted backups"
@@ -135,9 +137,35 @@ class TestCombinedFaults:
     def test_sensor_noise_spike_does_not_trip_detection(self):
         """A burst of sensor noise hits both controllers identically, so
         shadow deviation stays near zero and no fault is confirmed."""
-        rig = HilRig(fast_hil(sensor_noise_std=1.5, detection_threshold=3))
+        rig = HilRig(scenario("noise-spike", 60.0, sensor_noise_std=1.5,
+                              detection_threshold=3))
         rig.run_for_seconds(60.0)
         confirmed = [e for e in rig.trace.events("evm.fault_detected")
                      if e.category == "evm.fault_detected"]
         assert confirmed == []
         assert rig.active_controller() == CTRL_A
+
+
+class TestCrashRecovery:
+    def test_rebooted_primary_is_fenced_by_the_switch(self):
+        """Ctrl-A crashes, Ctrl-B takes over, Ctrl-A reboots with stale
+        ACTIVE state.  The epoch check in the actuator's operation switch
+        must fence the stale ex-primary while the loop stays on Ctrl-B."""
+        spec = scenario("crash-recover", 70.0) \
+            .at(15.0, NodeCrash(CTRL_A)) \
+            .at(35.0, NodeRecover(CTRL_A))
+        rig = HilRig(spec)
+        rig.run_for_seconds(35.0)
+        assert rig.active_controller() == CTRL_B
+        rejected_before = rig.runtimes[ACTUATOR].stats.rejected_by_switch
+        rig.run_for_seconds(35.0)
+        # The reboot really happened and the node is scheduling again.
+        assert not rig.kernels[CTRL_A].crashed
+        assert rig.trace.count("rtos.restart") == 1
+        # ... but the component still answers to Ctrl-B,
+        assert rig.active_controller() == CTRL_B
+        # the stale replica's publishes were refused,
+        assert rig.runtimes[ACTUATOR].stats.rejected_by_switch \
+            > rejected_before
+        # and the plant never noticed.
+        assert rig.read("lts_level_pct") == pytest.approx(50.0, abs=2.0)

@@ -17,6 +17,9 @@ class _FakeMac:
         self.sent.append(packet)
         return True
 
+    def start(self):
+        pass
+
     def stop(self):
         pass
 
@@ -159,3 +162,50 @@ class TestCrash:
         kernel.crash()
         kernel.crash()
         assert kernel.crashed
+
+
+class TestRestart:
+    def test_restart_resumes_releases(self, engine, node):
+        kernel = NanoRK(engine, node)
+        kernel.attach_mac(_FakeMac())
+        runs = []
+        kernel.create_task(
+            TaskSpec("t", wcet_ticks=1 * MS, period_ticks=10 * MS),
+            lambda tcb: runs.append(engine.now))
+        engine.run_until(25 * MS)
+        kernel.crash()
+        engine.run_until(50 * MS)
+        count_at_reboot = len(runs)
+        kernel.restart()
+        engine.run_until(100 * MS)
+        assert not kernel.crashed
+        assert not node.failed
+        assert len(runs) > count_at_reboot
+
+    def test_restart_restores_network_replenishment(self, engine, node):
+        """The replenish chain dies with the crash; a rebooted node must
+        get a fresh one or its sends are refused forever once the
+        residual budget runs out."""
+        kernel = NanoRK(engine, node)
+        kernel.attach_mac(_FakeMac())
+        kernel.create_task(
+            TaskSpec("t", wcet_ticks=1 * MS, period_ticks=100 * MS), None)
+        kernel.set_network_reservation("t", NetworkReservation(1, 1 * SEC))
+        packet = Packet(src="n1", dst="x", kind="d", size_bytes=8)
+        assert kernel.send_packet("t", packet)
+        kernel.crash()
+        # More than one period elapses crashed: the old chain is dead.
+        engine.run_until(2500 * MS)
+        kernel.restart()
+        engine.run_until(5 * SEC)
+        assert kernel.send_packet("t", packet)
+        # ... and the budget is still metered, not unlimited.
+        assert not kernel.send_packet("t", packet)
+        engine.run_until(engine.now + 1100 * MS)
+        assert kernel.send_packet("t", packet)
+
+    def test_restart_on_healthy_kernel_is_noop(self, engine, node):
+        kernel = NanoRK(engine, node)
+        kernel.attach_mac(_FakeMac())
+        kernel.restart()
+        assert not kernel.crashed
