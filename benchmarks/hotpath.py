@@ -1,0 +1,245 @@
+"""Hot-path microbenchmarks: events/sec, VM instructions/sec, frames/sec.
+
+Standalone driver (not a pytest module) that measures the three inner
+loops every experiment burns time in -- ``Engine`` event dispatch,
+``Interpreter`` bytecode execution and ``Medium`` frame resolution --
+and records the rates into a ``BENCH_*.json`` snapshot so the perf
+trajectory of the repo is tracked across PRs::
+
+    PYTHONPATH=src python benchmarks/hotpath.py --label baseline
+    PYTHONPATH=src python benchmarks/hotpath.py --label optimized
+
+Each invocation merges its numbers under the given label into the
+snapshot file (default ``BENCH_2.json`` at the repo root) and, when both
+``baseline`` and ``optimized`` are present, computes the speedup table.
+
+The workloads are deterministic; rates are wall-clock and therefore
+machine-dependent, which is why the snapshot stores both sides of the
+comparison instead of absolute thresholds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+from pathlib import Path
+
+from repro.evm.bytecode import Assembler
+from repro.evm.interpreter import Interpreter
+from repro.hardware.node import FireFlyNode
+from repro.net.medium import Medium
+from repro.net.packet import BROADCAST, Packet
+from repro.net.topology import full_mesh
+from repro.sim.engine import Engine
+
+REPS = 5
+"""Each metric is measured REPS times; the best rate is recorded."""
+
+
+def _best_rate(measure) -> float:
+    """Run ``measure()`` -> (units, seconds) REPS times, return best rate."""
+    best = 0.0
+    for _ in range(REPS):
+        units, elapsed = measure()
+        if elapsed > 0.0:
+            best = max(best, units / elapsed)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Engine: fire-and-forget event dispatch
+# ----------------------------------------------------------------------
+def bench_engine_events(n_events: int = 200_000) -> float:
+    """Self-rescheduling fire-and-forget callbacks, ``n_events`` dispatches."""
+
+    def measure():
+        engine = Engine()
+        post = getattr(engine, "post", engine.schedule)
+        remaining = [n_events]
+
+        def tick() -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                post(7, tick)
+
+        # A modest standing population keeps the heap realistically deep.
+        for i in range(32):
+            post(i, tick)
+        start = time.perf_counter()
+        dispatched = engine.run()
+        elapsed = time.perf_counter() - start
+        return dispatched, elapsed
+
+    return _best_rate(measure)
+
+
+# ----------------------------------------------------------------------
+# EVM: interpreted instructions
+# ----------------------------------------------------------------------
+_COUNTDOWN = """
+    top:
+        load 0
+        push 1
+        sub
+        store 0
+        load 0
+        jz done
+        jmp top
+    done: halt
+"""
+
+
+def bench_vm_instructions(iterations: int = 40_000) -> float:
+    """A tight countdown loop; ~7 instructions per iteration."""
+    program = Assembler().assemble(_COUNTDOWN, name="countdown")
+    interp = Interpreter(max_steps=100_000_000)
+
+    def measure():
+        memory = [float(iterations)] + [0.0] * 15
+        start = time.perf_counter()
+        state = interp.execute(program, memory)
+        elapsed = time.perf_counter() - start
+        assert memory[0] == 0.0 and state.halted
+        return state.steps, elapsed
+
+    return _best_rate(measure)
+
+
+# ----------------------------------------------------------------------
+# Medium: frame resolution under contention
+# ----------------------------------------------------------------------
+def _build_mesh(engine: Engine, n_nodes: int):
+    node_ids = [f"n{i}" for i in range(n_nodes)]
+    topology = full_mesh(node_ids, spacing_m=5.0)
+    medium = Medium(engine, topology, rng=random.Random(7))
+    nodes = {}
+    for node_id in node_ids:
+        node = FireFlyNode(engine, node_id, with_sensors=False)
+        port = medium.attach(node)
+        port.set_receive_callback(lambda pkt: None)
+        nodes[node_id] = node
+    return medium, nodes, node_ids
+
+
+def bench_medium_frames(n_frames: int = 4_000, n_nodes: int = 8) -> float:
+    """Round-robin broadcast flood on a full mesh; overlaps exercise the
+    collision scan, every completion resolves ``n_nodes - 1`` receptions."""
+
+    def measure():
+        engine = Engine()
+        medium, nodes, node_ids = _build_mesh(engine, n_nodes)
+        for node_id in node_ids:
+            medium.port(node_id).listen()
+        sent = [0]
+
+        def send(idx: int) -> None:
+            if sent[0] >= n_frames:
+                return
+            sent[0] += 1
+            node_id = node_ids[idx % len(node_ids)]
+            if nodes[node_id].radio.state.name != "TX":
+                packet = Packet(src=node_id, dst=BROADCAST, kind="bench",
+                                size_bytes=32, seq=sent[0])
+                medium.port(node_id).transmit(packet)
+                medium.port(node_id).listen()
+            engine.schedule(650 + 13 * (idx % 5), send, idx + 1)
+
+        engine.schedule(0, send, 0)
+        start = time.perf_counter()
+        engine.run()
+        elapsed = time.perf_counter() - start
+        return medium.stats.frames_sent, elapsed
+
+    return _best_rate(measure)
+
+
+def bench_carrier_sense(n_probes: int = 100_000, n_nodes: int = 12,
+                        in_flight: int = 48) -> float:
+    """``channel_busy()`` probes against a populated in-flight set."""
+
+    def measure():
+        engine = Engine()
+        medium, nodes, node_ids = _build_mesh(engine, n_nodes)
+        # Stagger transmissions so a standing population is in flight.
+        for i in range(in_flight):
+            node_id = node_ids[i % len(node_ids)]
+            if nodes[node_id].radio.state.name != "TX":
+                medium.port(node_id).transmit(
+                    Packet(src=node_id, dst=BROADCAST, kind="bench",
+                           size_bytes=100, seq=i))
+        probe_port = medium.port(node_ids[0])
+        start = time.perf_counter()
+        for _ in range(n_probes):
+            probe_port.channel_busy()
+        elapsed = time.perf_counter() - start
+        return n_probes, elapsed
+
+    return _best_rate(measure)
+
+
+# ----------------------------------------------------------------------
+# Snapshot plumbing
+# ----------------------------------------------------------------------
+METRICS = {
+    "events_per_sec": bench_engine_events,
+    "vm_instructions_per_sec": bench_vm_instructions,
+    "frames_per_sec": bench_medium_frames,
+    "carrier_sense_per_sec": bench_carrier_sense,
+}
+
+
+def run_all() -> dict[str, float]:
+    results = {}
+    for name, fn in METRICS.items():
+        rate = fn()
+        results[name] = round(rate, 1)
+        print(f"  {name:<28} {rate:>14,.0f}")
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="optimized",
+                        choices=("baseline", "optimized"),
+                        help="which side of the comparison this run records")
+    parser.add_argument("--out", default=None,
+                        help="snapshot path (default: <repo>/BENCH_2.json)")
+    args = parser.parse_args()
+
+    out = Path(args.out) if args.out else \
+        Path(__file__).resolve().parent.parent / "BENCH_2.json"
+    snapshot = json.loads(out.read_text()) if out.exists() else {
+        "bench": 2,
+        "description": ("Hot-path microbenchmark snapshot: Engine event "
+                        "dispatch, EVM interpretation, Medium frame "
+                        "resolution (benchmarks/hotpath.py)"),
+    }
+    snapshot["host"] = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+    print(f"hotpath benchmarks ({args.label}):")
+    snapshot[args.label] = run_all()
+
+    if "baseline" in snapshot and "optimized" in snapshot:
+        snapshot["speedup"] = {
+            key: round(snapshot["optimized"][key] / snapshot["baseline"][key], 2)
+            for key in snapshot["baseline"]
+            if snapshot["baseline"].get(key) and key in snapshot["optimized"]
+        }
+        print("speedup vs baseline:")
+        for key, ratio in snapshot["speedup"].items():
+            print(f"  {key:<28} {ratio:>7.2f}x")
+
+    out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

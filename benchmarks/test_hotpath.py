@@ -1,0 +1,135 @@
+"""Hot-path microbenchmark smoke: the three inner loops stay functional.
+
+Unlike the figure-reproduction benches, these are *micro*benchmarks over
+``Engine`` dispatch, the threaded-code ``Interpreter`` and the indexed
+``Medium``.  They assert only functional invariants (everything scheduled
+was dispatched, the VM converged, frames resolved) -- never wall-clock
+thresholds, so slow CI runners cannot flake them.  The recorded rates
+land in the pytest-benchmark report; cross-PR trajectories are tracked
+separately in ``BENCH_*.json`` via ``benchmarks/hotpath.py``.
+"""
+
+import random
+
+# Sibling module; pytest puts this directory on sys.path (no __init__.py).
+from hotpath import _COUNTDOWN, _build_mesh
+
+from repro.evm.bytecode import Assembler
+from repro.evm.interpreter import Interpreter
+from repro.net.packet import BROADCAST, Packet
+from repro.sim.engine import Engine
+
+
+def test_engine_event_throughput(benchmark):
+    n_events = 20_000
+
+    def drive() -> int:
+        engine = Engine()
+        remaining = [n_events]
+
+        def tick() -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                engine.post(7, tick)
+
+        for i in range(32):
+            engine.post(i, tick)
+        return engine.run()
+
+    dispatched = benchmark.pedantic(drive, rounds=3, iterations=1)
+    # The 32 seed events still drain after the countdown hits zero.
+    assert dispatched >= n_events
+
+
+def test_engine_cancellation_churn(benchmark):
+    """The cancellable path: half the handles are cancelled before firing;
+    the live-event counter must land exactly on zero."""
+    n_events = 10_000
+
+    def drive() -> int:
+        engine = Engine()
+        fired = [0]
+
+        def tick() -> None:
+            fired[0] += 1
+
+        handles = [engine.schedule(10 + (i % 97), tick)
+                   for i in range(n_events)]
+        for handle in handles[::2]:
+            handle.cancel()
+        assert engine.pending_events == n_events // 2
+        engine.run()
+        assert engine.pending_events == 0
+        return fired[0]
+
+    fired = benchmark.pedantic(drive, rounds=3, iterations=1)
+    assert fired == n_events // 2
+
+
+def test_vm_dispatch_throughput(benchmark):
+    iterations = 5_000
+    program = Assembler().assemble(_COUNTDOWN, name="countdown")
+    interp = Interpreter(max_steps=10_000_000)
+
+    def drive() -> int:
+        memory = [float(iterations)] + [0.0] * 15
+        state = interp.execute(program, memory)
+        assert state.halted and memory[0] == 0.0
+        return state.steps
+
+    steps = benchmark.pedantic(drive, rounds=3, iterations=1)
+    assert steps >= iterations * 7
+
+
+def test_medium_frame_resolution(benchmark):
+    n_frames = 500
+
+    def drive():
+        engine = Engine()
+        medium, nodes, node_ids = _build_mesh(engine, 8)
+        for node_id in node_ids:
+            medium.port(node_id).listen()
+        sent = [0]
+
+        def send(idx: int) -> None:
+            if sent[0] >= n_frames:
+                return
+            sent[0] += 1
+            node_id = node_ids[idx % len(node_ids)]
+            if nodes[node_id].radio.state.name != "TX":
+                medium.port(node_id).transmit(
+                    Packet(src=node_id, dst=BROADCAST, kind="bench",
+                           size_bytes=32, seq=sent[0]))
+                medium.port(node_id).listen()
+            engine.schedule(650 + 13 * (idx % 5), send, idx + 1)
+
+        engine.schedule(0, send, 0)
+        engine.run()
+        return medium.stats
+
+    stats = benchmark.pedantic(drive, rounds=3, iterations=1)
+    assert stats.frames_sent == n_frames
+    # Every completion resolved an outcome per audible receiver.
+    resolved = (stats.frames_delivered + stats.collisions
+                + stats.channel_losses + stats.missed_radio_off)
+    assert resolved == n_frames * 7
+
+
+def test_carrier_sense_is_o1(benchmark):
+    """channel_busy cost must not scale with the in-flight population."""
+
+    def probe_cost(in_flight: int, probes: int = 2_000) -> None:
+        engine = Engine()
+        medium, nodes, node_ids = _build_mesh(engine, 12)
+        rng = random.Random(3)
+        for i in range(in_flight):
+            node_id = node_ids[rng.randrange(len(node_ids))]
+            if nodes[node_id].radio.state.name != "TX":
+                medium.port(node_id).transmit(
+                    Packet(src=node_id, dst=BROADCAST, kind="bench",
+                           size_bytes=100, seq=i))
+        port = medium.port(node_ids[0])
+        for _ in range(probes):
+            port.channel_busy()
+
+    benchmark.pedantic(probe_cost, args=(64,), rounds=3, iterations=1)

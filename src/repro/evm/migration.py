@@ -275,7 +275,7 @@ class MigrationManager:
             "fragments": _fragment_count(len(blob)),
             "digest": digest,
         }, 48)
-        self.engine.schedule(self.timeout_ticks, self._check_timeout, xfer_id)
+        self.engine.post(self.timeout_ticks, self._check_timeout, xfer_id)
         return xfer_id
 
     def _check_timeout(self, xfer_id: int) -> None:

@@ -571,8 +571,8 @@ class EvmRuntime:
         self._record("evm.failover_pending", task=task_name, subject=subject,
                      holdoff=self.arbitration_holdoff_ticks)
         if self.arbitration_holdoff_ticks > 0:
-            self.engine.schedule(self.arbitration_holdoff_ticks,
-                                 self._execute_failover, task_name, subject)
+            self.engine.post(self.arbitration_holdoff_ticks,
+                             self._execute_failover, task_name, subject)
         else:
             self._execute_failover(task_name, subject)
 
@@ -606,9 +606,9 @@ class EvmRuntime:
                      demoted=faulty_node, epoch=new_assignment.epoch)
         self._broadcast_modes(task_name, new_assignment)
         if self.policy.dormant_delay_ticks > 0:
-            self.engine.schedule(self.policy.dormant_delay_ticks,
-                                 self._park_dormant, task_name, faulty_node,
-                                 new_assignment.epoch)
+            self.engine.post(self.policy.dormant_delay_ticks,
+                             self._park_dormant, task_name, faulty_node,
+                             new_assignment.epoch)
 
     def _park_dormant(self, task_name: str, node_id: str,
                       epoch: int) -> None:

@@ -129,9 +129,9 @@ def run_fig6(config: Fig6Config | None = None) -> Fig6Result:
         result.tower_feed_flow.append(rig.read("tower_feed_flow"))
         result.valve_pct.append(rig.read("lts_valve_pct"))
         result.active_controller.append(rig.active_controller())
-        rig.engine.schedule(int(config.sample_period_sec * SEC), sample)
+        rig.engine.post(int(config.sample_period_sec * SEC), sample)
 
-    rig.engine.schedule(int(config.sample_period_sec * SEC), sample)
+    rig.engine.post(int(config.sample_period_sec * SEC), sample)
     rig.run_for_seconds(config.duration_sec)
 
     _extract_events(rig, result)

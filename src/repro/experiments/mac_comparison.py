@@ -82,10 +82,10 @@ def run_mac_trial(protocol: str, duty_pct: float = 5.0,
                             size_bytes=PAYLOAD_BYTES, created_at=engine.now)
             if macs[member].send(packet):
                 sent_counter["n"] += 1
-            engine.schedule(period_ticks + jitter.randrange(0, 20 * MS),
-                            send)
+            engine.post(period_ticks + jitter.randrange(0, 20 * MS),
+                        send)
 
-        engine.schedule(jitter.randrange(0, period_ticks), send)
+        engine.post(jitter.randrange(0, period_ticks), send)
 
     for member in node_ids[1:]:
         make_sender(member)

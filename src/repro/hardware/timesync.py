@@ -87,7 +87,7 @@ class AmTimeSync:
         if self._running:
             return
         self._running = True
-        self.engine.schedule(self.spec.period_ticks, self._pulse, priority=-10)
+        self.engine.post(self.spec.period_ticks, self._pulse, priority=-10)
 
     def stop(self) -> None:
         self._running = False
@@ -112,7 +112,7 @@ class AmTimeSync:
             if self.trace is not None:
                 self.trace.record(self.engine.now, "timesync.pulse", node_id,
                                   jitter=jitter)
-        self.engine.schedule(self.spec.period_ticks, self._pulse, priority=-10)
+        self.engine.post(self.spec.period_ticks, self._pulse, priority=-10)
 
     def max_abs_jitter(self) -> int:
         """Largest absolute reception jitter observed (the <150 us claim)."""

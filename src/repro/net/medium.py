@@ -9,11 +9,21 @@ ranges and is modeled as zero; reception completes at end-of-frame.
 MAC protocols attach through a :class:`MediumPort`, which couples frame
 transfer to the node's radio power state (frames are only heard in RX, and
 transmitting drives the TX state for the full airtime).
+
+The hot paths are indexed rather than scanned:
+
+- per-receiver **audible-sender sets** (and per-sender neighbor tuples) are
+  precomputed from the topology and invalidated by its ``version`` counter;
+- ``_active`` is a start-time-ordered deque pruned incrementally from the
+  front (engine time is monotone, so appends arrive in order);
+- a per-node ``busy_until`` horizon makes :meth:`MediumPort.channel_busy`
+  a single dict lookup instead of a scan over all in-flight frames.
 """
 
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
@@ -26,7 +36,7 @@ from repro.sim.engine import Engine
 from repro.sim.trace import Trace
 
 
-@dataclass
+@dataclass(slots=True)
 class _Transmission:
     """One in-flight frame."""
 
@@ -95,7 +105,14 @@ class Medium:
         self.trace = trace
         self.stats = MediumStats()
         self._ports: dict[str, MediumPort] = {}
-        self._active: list[_Transmission] = []
+        # Ordered by (non-decreasing) start time; pruned from the front.
+        self._active: deque[_Transmission] = deque()
+        # Topology-derived indexes, rebuilt when topology.version moves.
+        self._topo_version = topology.version
+        self._neighbor_tuples: dict[str, tuple[str, ...]] = {}
+        self._audible_sets: dict[str, frozenset[str]] = {}
+        self._distances: dict[tuple[str, str], float] = {}
+        self._busy_until: dict[str, int] = {}
 
     def attach(self, node: FireFlyNode) -> MediumPort:
         if node.node_id in self._ports:
@@ -110,6 +127,51 @@ class Medium:
         return self._ports[node_id]
 
     # ------------------------------------------------------------------
+    # Topology indexes
+    # ------------------------------------------------------------------
+    def _check_indexes(self) -> None:
+        if self._topo_version != self.topology.version:
+            self._rebuild_indexes()
+
+    def _rebuild_indexes(self) -> None:
+        """Invalidate neighbor caches and recompute carrier-sense horizons
+        for the frames still in flight under the *new* topology."""
+        self._topo_version = self.topology.version
+        self._neighbor_tuples.clear()
+        self._audible_sets.clear()
+        self._distances.clear()
+        self._busy_until.clear()
+        now = self.engine.now
+        for tx in self._active:
+            if tx.end > now:
+                self._raise_busy_horizons(tx.sender, tx.end)
+
+    def _neighbors_of(self, sender: str) -> tuple[str, ...]:
+        """Audible receivers of ``sender``, in topology insertion order
+        (the order the unindexed medium resolved receptions in)."""
+        cached = self._neighbor_tuples.get(sender)
+        if cached is None:
+            cached = tuple(self.topology.neighbors(sender))
+            self._neighbor_tuples[sender] = cached
+        return cached
+
+    def _audible_at(self, receiver: str) -> frozenset[str]:
+        """Senders whose frames reach ``receiver`` (symmetric graph)."""
+        cached = self._audible_sets.get(receiver)
+        if cached is None:
+            cached = frozenset(self.topology.neighbors(receiver))
+            self._audible_sets[receiver] = cached
+        return cached
+
+    def _raise_busy_horizons(self, sender: str, end: int) -> None:
+        busy = self._busy_until
+        if busy.get(sender, 0) < end:
+            busy[sender] = end
+        for nid in self._neighbors_of(sender):
+            if busy.get(nid, 0) < end:
+                busy[nid] = end
+
+    # ------------------------------------------------------------------
     # Transmission pipeline
     # ------------------------------------------------------------------
     def _transmit(self, node: FireFlyNode, packet: Packet,
@@ -117,36 +179,49 @@ class Medium:
         if node.failed:
             raise RuntimeError(
                 f"failed node {node.node_id!r} attempted to transmit")
+        self._check_indexes()
         airtime = node.radio.airtime(packet.on_air_bytes)
+        now = self.engine.now
         tx = _Transmission(sender=node.node_id, packet=packet,
-                           start=self.engine.now,
-                           end=self.engine.now + airtime)
+                           start=now, end=now + airtime)
         self._active.append(tx)
+        self._raise_busy_horizons(node.node_id, tx.end)
         self.stats.frames_sent += 1
         node.radio.set_state(RadioState.TX)
         if self.trace is not None:
-            self.trace.record(self.engine.now, "medium.tx", node.node_id,
+            self.trace.record(now, "medium.tx", node.node_id,
                               kind=packet.kind, dst=packet.dst,
                               bytes=packet.on_air_bytes, seq=packet.seq)
-        self.engine.schedule(airtime, self._complete, tx, node, after_state)
+        self.engine.post(airtime, self._complete, tx, node, after_state)
         return airtime
 
     def _complete(self, tx: _Transmission, node: FireFlyNode,
                   after_state: RadioState) -> None:
         if not node.failed:
             node.radio.set_state(after_state)
-        for receiver_id in self.topology.neighbors(tx.sender):
+        self._check_indexes()
+        for receiver_id in self._neighbors_of(tx.sender):
             self._resolve_reception(tx, receiver_id)
         # Keep finished transmissions around for a grace window so later
         # frames that overlapped them still detect the collision; pruned
-        # lazily in _prune (B-MAC preambles are the longest frames).
+        # incrementally in _prune (B-MAC preambles are the longest frames).
         self._prune()
 
     _GRACE_TICKS = 250_000  # 250 ms > longest preamble airtime
 
     def _prune(self) -> None:
+        """Drop expired frames from the (start-ordered) front.
+
+        An entry whose ``end`` is still inside the grace window blocks
+        entries behind it, but airtime is bounded well below the grace
+        window, so the retained span -- and the deque -- stays bounded.
+        Entries a full-list sweep would also have dropped can never
+        overlap a live frame, so retaining them briefly is unobservable.
+        """
         horizon = self.engine.now - self._GRACE_TICKS
-        self._active = [t for t in self._active if t.end >= horizon]
+        active = self._active
+        while active and active[0].end < horizon:
+            active.popleft()
 
     def _resolve_reception(self, tx: _Transmission, receiver_id: str) -> None:
         port = self._ports.get(receiver_id)
@@ -163,7 +238,11 @@ class Medium:
                                   receiver_id, seq=tx.packet.seq,
                                   sender=tx.sender)
             return
-        distance = self.topology.distance(tx.sender, receiver_id)
+        key = (tx.sender, receiver_id)
+        distance = self._distances.get(key)
+        if distance is None:
+            distance = self.topology.distance(tx.sender, receiver_id)
+            self._distances[key] = distance
         if not self.link_model.frame_survives_link(tx.sender, receiver_id,
                                                    distance,
                                                    tx.packet.on_air_bytes,
@@ -183,23 +262,22 @@ class Medium:
 
     def _collided_at(self, tx: _Transmission, receiver_id: str) -> bool:
         """True if another overlapping frame was audible at the receiver."""
+        audible = self._audible_at(receiver_id)
+        tx_start = tx.start
+        tx_end = tx.end
         for other in self._active:
-            if other is tx:
+            if other.start >= tx_end:
+                break  # start-ordered: nothing later can overlap
+            if other is tx or other.end <= tx_start:
                 continue
-            if other.end <= tx.start or other.start >= tx.end:
-                continue
-            if other.sender == receiver_id:
+            sender = other.sender
+            if sender == receiver_id:
                 return True  # receiver was itself transmitting
-            if self.topology.has_link(other.sender, receiver_id):
+            if sender in audible:
                 return True
         return False
 
     def _channel_busy(self, node_id: str) -> bool:
-        for tx in self._active:
-            if tx.end <= self.engine.now:
-                continue
-            if tx.sender == node_id:
-                return True
-            if self.topology.has_link(tx.sender, node_id):
-                return True
-        return False
+        if self._topo_version != self.topology.version:
+            self._rebuild_indexes()
+        return self._busy_until.get(node_id, 0) > self.engine.clock._now

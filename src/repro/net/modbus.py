@@ -115,7 +115,7 @@ class ModbusSerialLink:
         def finish() -> None:
             callback(self.image.read(address))
 
-        self.engine.schedule(self.transaction_ticks, finish)
+        self.engine.post(self.transaction_ticks, finish)
 
     def write_async(self, address: int, value: float,
                     callback: Callable[[], None] | None = None) -> None:
@@ -127,7 +127,7 @@ class ModbusSerialLink:
             if callback is not None:
                 callback()
 
-        self.engine.schedule(self.transaction_ticks, finish)
+        self.engine.post(self.transaction_ticks, finish)
 
 
 class ModbusGatewayService:

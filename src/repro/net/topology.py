@@ -18,10 +18,16 @@ from repro.hardware.node import NodePosition
 
 
 class Topology:
-    """Mutable connectivity graph with positions."""
+    """Mutable connectivity graph with positions.
+
+    ``version`` increments on every structural mutation; consumers that
+    index the graph (the medium's audible-sender sets, carrier-sense
+    horizons) compare it to invalidate their caches in O(1).
+    """
 
     def __init__(self) -> None:
         self.graph = nx.Graph()
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -30,21 +36,25 @@ class Topology:
         if node_id in self.graph:
             raise ValueError(f"node {node_id!r} already in topology")
         self.graph.add_node(node_id, position=position or NodePosition(0.0, 0.0))
+        self.version += 1
 
     def add_link(self, a: str, b: str) -> None:
         for n in (a, b):
             if n not in self.graph:
                 raise KeyError(f"unknown node {n!r}")
         self.graph.add_edge(a, b)
+        self.version += 1
 
     def remove_node(self, node_id: str) -> None:
         """Drop a node and all its links (topology-change experiments)."""
         if node_id in self.graph:
             self.graph.remove_node(node_id)
+            self.version += 1
 
     def remove_link(self, a: str, b: str) -> None:
         if self.graph.has_edge(a, b):
             self.graph.remove_edge(a, b)
+            self.version += 1
 
     def connect_by_range(self, radio_range_m: float) -> None:
         """Create links between every node pair within ``radio_range_m``."""
@@ -53,6 +63,7 @@ class Topology:
             for b in nodes[i + 1:]:
                 if self.distance(a, b) <= radio_range_m:
                     self.graph.add_edge(a, b)
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Queries

@@ -120,7 +120,7 @@ class HilBridge:
         if self._running:
             return
         self._running = True
-        self.engine.schedule(self.plant_dt_ticks, self._step)
+        self.engine.post(self.plant_dt_ticks, self._step)
 
     def stop(self) -> None:
         self._running = False
@@ -134,7 +134,7 @@ class HilBridge:
         for signal, binding in self.sensor_bindings.items():
             value = self.plant.flowsheet.read(signal)
             self.link.write_async(binding.address, value)
-        self.engine.schedule(self.plant_dt_ticks, self._step)
+        self.engine.post(self.plant_dt_ticks, self._step)
 
     def _on_register_write(self, address: int, value: float) -> None:
         binding = self._address_to_actuator.get(address)

@@ -163,9 +163,9 @@ class NanoRK:
                     or epoch != self._net_epoch:
                 return
             reservation.replenish()
-            self.engine.schedule(reservation.period_ticks, replenish)
+            self.engine.post(reservation.period_ticks, replenish)
 
-        self.engine.schedule(reservation.period_ticks, replenish)
+        self.engine.post(reservation.period_ticks, replenish)
 
     # ------------------------------------------------------------------
     # Network access (metered)

@@ -248,8 +248,8 @@ class Scheduler:
         tcb.jobs_released += 1
         job = Job(tcb, self.engine.now, spec.wcet_ticks,
                   self.engine.now + spec.effective_deadline)
-        self.engine.schedule(spec.effective_deadline, self._check_deadline,
-                             job, priority=-4)
+        self.engine.post(spec.effective_deadline, self._check_deadline,
+                         job, priority=-4)
         self._enqueue(job)
         self._dispatch()
 

@@ -139,7 +139,7 @@ class LinkDegrade(Fault):
         if self.duration_sec is not None:
             def revert() -> None:
                 wrapper.active = False
-            rig.engine.schedule(int(self.duration_sec * SEC), revert)
+            rig.engine.post(int(self.duration_sec * SEC), revert)
 
 
 @dataclass(frozen=True)
@@ -183,7 +183,7 @@ class BabblingInterferer(Fault):
                                 "epoch": 0,
                             }, size_bytes=20)
             kernel.send_packet("EVM", packet)
-            rig.engine.schedule(self.period_ms * MS, babble)
+            rig.engine.post(self.period_ms * MS, babble)
 
         babble()
 

@@ -42,8 +42,8 @@ class FaultInjector:
             return
         self._armed = True
         for item in self.scenario.sorted_schedule():
-            self.rig.engine.schedule(int(item.at_sec * SEC),
-                                     self._fire, item)
+            self.rig.engine.post(int(item.at_sec * SEC),
+                                 self._fire, item)
 
     def _fire(self, item: ScheduledFault) -> None:
         item.fault.apply(self.rig)

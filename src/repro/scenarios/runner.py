@@ -40,10 +40,10 @@ def run_scenario(scenario: Scenario) -> RunMetrics:
         levels_pct.append(rig.read("lts_level_pct"))
         setpoints_pct.append(rig.commanded_setpoint())
         if rig.engine.now < int(scenario.duration_sec * SEC):
-            rig.engine.schedule(int(scenario.sample_period_sec * SEC),
-                                sample)
+            rig.engine.post(int(scenario.sample_period_sec * SEC),
+                            sample)
 
-    rig.engine.schedule(int(scenario.sample_period_sec * SEC), sample)
+    rig.engine.post(int(scenario.sample_period_sec * SEC), sample)
     rig.run_for_seconds(scenario.duration_sec)
     return collect(rig, scenario, times_sec, levels_pct, setpoints_pct)
 

@@ -1,10 +1,22 @@
 """The discrete-event engine.
 
-A single priority queue of ``(time, priority, sequence, callback)`` entries.
-Entries at equal times dispatch in ``(priority, insertion order)`` -- a
-deterministic tie-break that higher layers rely on (e.g. the RTOS releases
-jobs *before* the scheduler decision event in the same tick by scheduling the
-release with a lower priority number).
+A single priority queue of ``(time, priority, sequence, handle, callback,
+args)`` entries.  Entries at equal times dispatch in ``(priority, insertion
+order)`` -- a deterministic tie-break that higher layers rely on (e.g. the
+RTOS releases jobs *before* the scheduler decision event in the same tick by
+scheduling the release with a lower priority number).
+
+Two scheduling paths share the queue:
+
+- :meth:`Engine.schedule` / :meth:`Engine.schedule_at` return an
+  :class:`EventHandle` for callers that may cancel the event;
+- :meth:`Engine.post` / :meth:`Engine.post_at` are the allocation-free
+  fast path for fire-and-forget events (no handle object at all) -- the
+  overwhelmingly common case on the hot paths (frame completions, plant
+  steps, periodic samplers).
+
+Both paths dispatch identically; the sequence number keeps the total
+order exactly as if every event had gone through ``schedule``.
 """
 
 from __future__ import annotations
@@ -13,6 +25,9 @@ import heapq
 from typing import Any, Callable
 
 from repro.sim.clock import SimClock, format_time
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(RuntimeError):
@@ -26,18 +41,25 @@ class EventHandle:
     dispatch time.  ``cancel()`` is idempotent.
     """
 
-    __slots__ = ("when", "callback", "args", "cancelled", "dispatched")
+    __slots__ = ("when", "callback", "args", "cancelled", "dispatched",
+                 "_engine")
 
-    def __init__(self, when: int, callback: Callable[..., Any], args: tuple) -> None:
+    def __init__(self, when: int, callback: Callable[..., Any], args: tuple,
+                 engine: "Engine | None" = None) -> None:
         self.when = when
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.dispatched = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.cancelled or self.dispatched:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._live -= 1
 
     @property
     def pending(self) -> bool:
@@ -56,8 +78,11 @@ class Engine:
 
     def __init__(self, start: int = 0) -> None:
         self.clock = SimClock(start)
-        self._queue: list[tuple[int, int, int, EventHandle]] = []
+        # (when, priority, seq, handle_or_None, callback, args); seq is
+        # unique, so comparisons never reach the non-orderable fields.
+        self._queue: list[tuple] = []
         self._seq = 0
+        self._live = 0
         self._running = False
         self._dispatched_count = 0
 
@@ -78,8 +103,13 @@ class Engine:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} ticks in the past")
-        return self.schedule_at(self.clock.now + delay, callback, *args,
-                                priority=priority)
+        when = self.clock._now + delay
+        handle = EventHandle(when, callback, args, self)
+        self._seq += 1
+        self._live += 1
+        _heappush(self._queue, (when, priority, self._seq, handle,
+                                callback, args))
+        return handle
 
     def schedule_at(
         self,
@@ -94,10 +124,51 @@ class Engine:
                 f"cannot schedule at {format_time(when)}, now is "
                 f"{format_time(self.clock.now)}"
             )
-        handle = EventHandle(when, callback, args)
+        handle = EventHandle(when, callback, args, self)
         self._seq += 1
-        heapq.heappush(self._queue, (when, priority, self._seq, handle))
+        self._live += 1
+        _heappush(self._queue, (when, priority, self._seq, handle,
+                                callback, args))
         return handle
+
+    def post(
+        self,
+        delay: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`EventHandle`.
+
+        Dispatch order is identical to ``schedule``; the only difference
+        is that the event cannot be cancelled, so no token is allocated.
+        Use this on hot paths that never keep the returned handle.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} ticks in the past")
+        self._seq += 1
+        self._live += 1
+        # delay >= 0 makes `when` >= now by construction; no re-check.
+        _heappush(self._queue, (self.clock._now + delay, priority, self._seq,
+                                None, callback, args))
+
+    def post_at(
+        self,
+        when: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        """Fire-and-forget :meth:`schedule_at` (see :meth:`post`)."""
+        if when < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule at {format_time(when)}, now is "
+                f"{format_time(self.clock.now)}"
+            )
+        self._seq += 1
+        self._live += 1
+        _heappush(self._queue, (when, priority, self._seq, None,
+                                callback, args))
 
     # ------------------------------------------------------------------
     # Execution
@@ -109,8 +180,13 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for *_rest, h in self._queue if not h.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): a counter incremented on insert and decremented on cancel
+        and dispatch (cancelled entries stay in the heap until popped,
+        but are already subtracted here).
+        """
+        return self._live
 
     @property
     def dispatched_count(self) -> int:
@@ -119,14 +195,19 @@ class Engine:
 
     def step(self) -> bool:
         """Dispatch the single next event.  Returns False if queue is empty."""
-        while self._queue:
-            when, _prio, _seq, handle = heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue
-            self.clock.advance_to(when)
-            handle.dispatched = True
+        queue = self._queue
+        while queue:
+            when, _prio, _seq, handle, callback, args = _heappop(queue)
+            if handle is not None:
+                if handle.cancelled:
+                    continue
+                handle.dispatched = True
+            self._live -= 1
+            # Popped times are monotone (schedule refuses the past), so the
+            # clock moves forward without re-validating each advance.
+            self.clock._now = when
             self._dispatched_count += 1
-            handle.callback(*handle.args)
+            callback(*args)
             return True
         return False
 
@@ -139,20 +220,47 @@ class Engine:
             raise SimulationError("engine is not reentrant")
         self._running = True
         dispatched = 0
+        queue = self._queue
+        clock = self.clock
+        pop = _heappop
+        # The live/dispatched counters flush once in `finally`: both are
+        # only observable between runs (callbacks never read them mid-run).
         try:
-            while self.step():
-                dispatched += 1
-                if max_events is not None and dispatched >= max_events:
-                    break
+            if max_events is None:
+                while queue:
+                    when, _prio, _seq, handle, callback, args = pop(queue)
+                    if handle is not None:
+                        if handle.cancelled:
+                            continue
+                        handle.dispatched = True
+                    clock._now = when
+                    dispatched += 1
+                    callback(*args)
+            else:
+                while queue:
+                    when, _prio, _seq, handle, callback, args = pop(queue)
+                    if handle is not None:
+                        if handle.cancelled:
+                            continue
+                        handle.dispatched = True
+                    clock._now = when
+                    dispatched += 1
+                    callback(*args)
+                    if dispatched >= max_events:
+                        break
         finally:
             self._running = False
+            self._live -= dispatched
+            self._dispatched_count += dispatched
         return dispatched
 
     def run_until(self, when: int) -> int:
         """Run events with timestamps ``<= when``; clock lands exactly on it.
 
         Returns the number of events dispatched.  Events scheduled beyond
-        ``when`` remain queued for a later call.
+        ``when`` remain queued for a later call.  The heap is walked once:
+        each entry is peeked and popped at most one time (cancelled
+        entries included), instead of the peek-then-step double walk.
         """
         if when < self.clock.now:
             raise SimulationError(
@@ -163,31 +271,32 @@ class Engine:
             raise SimulationError("engine is not reentrant")
         self._running = True
         dispatched = 0
+        queue = self._queue
+        clock = self.clock
+        pop = _heappop
         try:
-            while self._queue:
-                next_when = self._next_live_time()
-                if next_when is None or next_when > when:
+            while queue:
+                entry_when, _prio, _seq, handle, callback, args = queue[0]
+                if entry_when > when:
                     break
-                self.step()
+                pop(queue)
+                if handle is not None:
+                    if handle.cancelled:
+                        continue
+                    handle.dispatched = True
+                clock._now = entry_when
                 dispatched += 1
-            self.clock.advance_to(when)
+                callback(*args)
+            clock.advance_to(when)
         finally:
             self._running = False
+            self._live -= dispatched
+            self._dispatched_count += dispatched
         return dispatched
 
     def run_for(self, duration: int) -> int:
         """Run for ``duration`` ticks of simulated time from now."""
         return self.run_until(self.clock.now + duration)
-
-    def _next_live_time(self) -> int | None:
-        """Peek the timestamp of the next non-cancelled event, pruning dead ones."""
-        while self._queue:
-            when, _prio, _seq, handle = self._queue[0]
-            if handle.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            return when
-        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Engine(now={format_time(self.clock.now)}, "

@@ -13,7 +13,7 @@ from typing import Any, Callable, Iterable, Iterator
 from repro.sim.clock import format_time
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One recorded occurrence.
 

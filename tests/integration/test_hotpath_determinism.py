@@ -1,0 +1,461 @@
+"""Golden-determinism guard for the hot-path optimization.
+
+The threaded-code interpreter, the engine fast path and the indexed
+medium are pure performance work: they must be *bit-identical* to the
+seed semantics.  This suite pins that down three ways:
+
+1. **Golden digests** -- SHA-256 over the canonical JSON of a fig6
+   failover run, a serial campaign grid, and a fixed VM program suite
+   (final states, memories, outputs and error strings).  The digests in
+   ``golden_hotpath.json`` were captured from the *seed* implementation
+   before the optimization landed; any semantic drift changes a digest.
+
+   Recapture (only when semantics change deliberately)::
+
+       PYTHONPATH=src:tests python tests/integration/test_hotpath_determinism.py --capture
+
+2. **Reference-interpreter property** -- random programs are executed by
+   both the production interpreter and a straight-line reference
+   implementation of the seed dispatch semantics kept in this file;
+   final state, memory and error strings must match exactly.
+
+3. **Replay identity** -- the golden workloads also run twice in-process
+   and must agree with themselves, so the guard stays meaningful even on
+   a platform whose libm produces different float digits than the
+   capture host.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.evm.bytecode import Assembler, Instruction, Opcode, Program
+from repro.evm.interpreter import Interpreter, VmError, VmState
+
+GOLDEN_PATH = Path(__file__).parent / "golden_hotpath.json"
+
+
+# ----------------------------------------------------------------------
+# Workload 1: fig6 failover timeline (reduced horizon)
+# ----------------------------------------------------------------------
+def fig6_payload() -> str:
+    from repro.experiments.fig6 import Fig6Config, run_fig6
+
+    config = Fig6Config(t1_fault_sec=30.0, t2_target_sec=60.0,
+                        duration_sec=100.0)
+    result = run_fig6(config)
+    return json.dumps(dataclasses.asdict(result), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Workload 2: a serial campaign grid
+# ----------------------------------------------------------------------
+def campaign_payload() -> str:
+    from repro.scenarios import (
+        BabblingInterferer,
+        CampaignRunner,
+        LinkDegrade,
+        NodeCrash,
+        Scenario,
+        sweep,
+    )
+    from repro.experiments.hil import CTRL_A, CTRL_B, TASK_ACT, TASK_CTRL
+    from repro.scenarios.stock import fast_hil
+
+    crash = Scenario("guard-crash", hil=fast_hil(), seed=0,
+                     duration_sec=20.0).at(6.0, NodeCrash(CTRL_A))
+    noisy = Scenario("guard-noisy", hil=fast_hil(), seed=0,
+                     duration_sec=20.0) \
+        .at(4.0, LinkDegrade(prr=0.8)) \
+        .at(8.0, BabblingInterferer(node=CTRL_B, task=TASK_CTRL,
+                                    consumer=TASK_ACT, value=99.0,
+                                    period_ms=900))
+    grid = sweep([crash, noisy], seeds=(1, 2))
+    result = CampaignRunner(parallel=False).run(grid)
+    return json.dumps({"records": result.records, "summary": result.summary},
+                      sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Workload 3: fixed VM program suite (states, outputs, errors)
+# ----------------------------------------------------------------------
+_VM_SUITE = {
+    "arith": ("push 10\npush 4\nsub\nstore 0\npush 3\npush 5\nmul\nstore 1\n"
+              "push 8\npush 2\ndiv\nstore 2\npush -7\nabs\nneg\nstore 3\nhalt"),
+    "stackops": ("push 1\ndup\nadd\nstore 0\npush 5\npush 9\ndrop\nstore 1\n"
+                 "push 1\npush 2\nswap\nstore 2\ndrop\n"
+                 "push 7\npush 8\nover\nstore 3\ndrop\ndrop\n"
+                 "push 1\npush 2\npush 3\nrot\nstore 4\ndrop\ndrop\nhalt"),
+    "compare": ("push 1\npush 2\nlt\nstore 0\npush 2\npush 2\nle\nstore 1\n"
+                "push 3\npush 2\ngt\nstore 2\npush 2\npush 3\nge\nstore 3\n"
+                "push 2\npush 2\neq\nstore 4\npush 1\npush 2\nne\nstore 5\n"
+                "push 1\npush 0\nand\nstore 6\npush 1\npush 0\nor\nstore 7\n"
+                "push 0\nnot\nstore 8\npush 4\npush 9\nmin\nstore 9\n"
+                "push 4\npush 9\nmax\nstore 10\nhalt"),
+    "loop": ("top:\n    load 0\n    push 1\n    sub\n    store 0\n    load 0\n"
+             "    jz done\n    jmp top\ndone: halt"),
+    "callret": ("call sub\npush 100\nstore 1\nhalt\n"
+                "sub:\n    push 42\n    store 0\n    ret"),
+    "falloff": "push 1\nstore 0",
+    "div_zero": "push 1\npush 0\ndiv\nhalt",
+    "underflow": "add\nhalt",
+    "overflow": "push 1\n" * 70 + "halt",
+    "bad_load": "load 99\nhalt",
+    "budget": "top: jmp top",
+    "no_host": ".host ghost\nhost ghost\nhalt",
+    "no_channel": ".channel ghost\nin ghost\nhalt",
+    "no_word": ".word ghost\nword ghost\nhalt",
+}
+
+
+def vm_payload() -> str:
+    assembler = Assembler()
+    rows = {}
+    for name, text in _VM_SUITE.items():
+        interp = Interpreter(max_steps=2_000)
+        outputs: list[float] = []
+        interp.bind_input("sensor", lambda: 19.25)
+        interp.bind_output("valve", outputs.append)
+        interp.register_host("boost", lambda ctx: ctx.push(ctx.pop() * 3.0))
+        program = assembler.assemble(text, name=name)
+        memory = [5.0] + [0.0] * 15
+        try:
+            state = interp.execute(program, memory)
+            outcome = {"state": state.snapshot(), "memory": memory,
+                       "outputs": outputs}
+        except VmError as exc:
+            outcome = {"error": str(exc), "memory": memory}
+        rows[name] = outcome
+
+    # Words, hosts, channels together; exercised through nesting.
+    interp = Interpreter()
+    outputs = []
+    interp.bind_input("sensor", lambda: 19.25)
+    interp.bind_output("valve", outputs.append)
+    interp.register_host("boost", lambda ctx: ctx.push(ctx.pop() * 3.0))
+    interp.register_word(assembler.assemble(".name double\npush 2\nmul\nret"))
+    interp.register_word(assembler.assemble(
+        ".name quad\n.word double\nword double\nword double\nret"))
+    program = assembler.assemble(
+        ".channel sensor\n.channel valve\n.host boost\n.word quad\n"
+        "in sensor\nword quad\nhost boost\ndup\nout valve\nstore 0\nhalt",
+        name="composite")
+    memory = [0.0] * 16
+    state = interp.execute(program, memory)
+    rows["composite"] = {"state": state.snapshot(), "memory": memory,
+                         "outputs": outputs}
+
+    # Mid-run pause, snapshot, restore into a *different* interpreter.
+    interp_a = Interpreter()
+    program = assembler.assemble(_VM_SUITE["loop"], name="loop")
+    memory = [64.0] + [0.0] * 15
+    state = interp_a.execute(program, memory, max_steps=100,
+                             pause_on_budget=True)
+    assert not state.halted
+    blob = json.dumps(state.snapshot())
+    interp_b = Interpreter()
+    resumed = VmState.restore(json.loads(blob))
+    final = interp_b.execute(program, memory, state=resumed)
+    rows["migrate"] = {"paused": json.loads(blob), "state": final.snapshot(),
+                       "memory": memory}
+    return json.dumps(rows, sort_keys=True)
+
+
+WORKLOADS = {
+    "fig6": fig6_payload,
+    "campaign": campaign_payload,
+    "vm_suite": vm_payload,
+}
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _goldens() -> dict[str, str]:
+    return json.loads(GOLDEN_PATH.read_text())["digests"]
+
+
+class TestGoldenDigests:
+    def test_vm_suite_matches_seed_golden(self):
+        assert _digest(vm_payload()) == _goldens()["vm_suite"]
+
+    def test_fig6_matches_seed_golden(self):
+        payload = fig6_payload()
+        assert _digest(payload) == _goldens()["fig6"]
+
+    def test_campaign_matches_seed_golden_and_replays(self):
+        payload = campaign_payload()
+        assert payload == campaign_payload()  # replay identity
+        assert _digest(payload) == _goldens()["campaign"]
+
+
+# ----------------------------------------------------------------------
+# Reference interpreter: the seed dispatch semantics, kept verbatim
+# ----------------------------------------------------------------------
+class _ReferenceVm:
+    """Straight transcription of the seed ``Interpreter._dispatch`` loop."""
+
+    def __init__(self, max_stack: int = 64, max_steps: int = 100_000) -> None:
+        self.max_stack = max_stack
+        self.max_steps = max_steps
+
+    def execute(self, program: Program, memory: list[float]) -> VmState:
+        state = VmState(routine=program.name)
+        stack, rstack = state.stack, state.rstack
+
+        def push(value: float) -> None:
+            if len(stack) >= self.max_stack:
+                raise VmError(f"stack overflow in {state.routine!r} "
+                              f"(depth {self.max_stack})")
+            stack.append(float(value))
+
+        def pop() -> float:
+            if not stack:
+                raise VmError(f"stack underflow in {state.routine!r}")
+            return stack.pop()
+
+        def jump(target: int) -> None:
+            if not 0 <= target <= len(program.instructions):
+                raise VmError(f"jump target {target} out of range in "
+                              f"{state.routine!r}")
+            state.pc = target
+
+        while not state.halted:
+            if state.steps >= self.max_steps:
+                raise VmError(f"step budget {self.max_steps} exhausted in "
+                              f"{state.routine!r} (pc={state.pc})")
+            if state.pc >= len(program.instructions):
+                if rstack:
+                    state.routine, state.pc = rstack.pop()
+                    continue
+                state.halted = True
+                break
+            ins = program.instructions[state.pc]
+            state.pc += 1
+            state.steps += 1
+            op = ins.opcode
+            if op is Opcode.HALT:
+                state.halted = True
+            elif op is Opcode.NOP:
+                pass
+            elif op is Opcode.PUSH:
+                push(float(ins.arg))
+            elif op is Opcode.DUP:
+                v = pop(); push(v); push(v)
+            elif op is Opcode.DROP:
+                pop()
+            elif op is Opcode.SWAP:
+                b, a = pop(), pop(); push(b); push(a)
+            elif op is Opcode.OVER:
+                b, a = pop(), pop(); push(a); push(b); push(a)
+            elif op is Opcode.ROT:
+                c, b, a = pop(), pop(), pop(); push(b); push(c); push(a)
+            elif op is Opcode.ADD:
+                b, a = pop(), pop(); push(a + b)
+            elif op is Opcode.SUB:
+                b, a = pop(), pop(); push(a - b)
+            elif op is Opcode.MUL:
+                b, a = pop(), pop(); push(a * b)
+            elif op is Opcode.DIV:
+                b, a = pop(), pop()
+                if b == 0.0:
+                    raise VmError(f"division by zero in {state.routine!r}")
+                push(a / b)
+            elif op is Opcode.NEG:
+                push(-pop())
+            elif op is Opcode.ABS:
+                push(abs(pop()))
+            elif op is Opcode.MIN:
+                b, a = pop(), pop(); push(min(a, b))
+            elif op is Opcode.MAX:
+                b, a = pop(), pop(); push(max(a, b))
+            elif op is Opcode.LT:
+                b, a = pop(), pop(); push(1.0 if a < b else 0.0)
+            elif op is Opcode.GT:
+                b, a = pop(), pop(); push(1.0 if a > b else 0.0)
+            elif op is Opcode.LE:
+                b, a = pop(), pop(); push(1.0 if a <= b else 0.0)
+            elif op is Opcode.GE:
+                b, a = pop(), pop(); push(1.0 if a >= b else 0.0)
+            elif op is Opcode.EQ:
+                b, a = pop(), pop(); push(1.0 if a == b else 0.0)
+            elif op is Opcode.NE:
+                b, a = pop(), pop(); push(1.0 if a != b else 0.0)
+            elif op is Opcode.AND:
+                b, a = pop(), pop()
+                push(1.0 if (a != 0.0 and b != 0.0) else 0.0)
+            elif op is Opcode.OR:
+                b, a = pop(), pop()
+                push(1.0 if (a != 0.0 or b != 0.0) else 0.0)
+            elif op is Opcode.NOT:
+                push(1.0 if pop() == 0.0 else 0.0)
+            elif op is Opcode.JMP:
+                jump(ins.arg)
+            elif op is Opcode.JZ:
+                if pop() == 0.0:
+                    jump(ins.arg)
+            elif op is Opcode.CALL:
+                rstack.append((state.routine, state.pc))
+                jump(ins.arg)
+            elif op is Opcode.RET:
+                if not rstack:
+                    state.halted = True
+                else:
+                    state.routine, state.pc = rstack.pop()
+            elif op is Opcode.LOAD:
+                if not 0 <= ins.arg < len(memory):
+                    raise VmError(f"LOAD slot {ins.arg} out of range")
+                push(memory[ins.arg])
+            elif op is Opcode.STORE:
+                # Pop precedes slot validation (argument evaluation order
+                # of the seed's `context.store(ins.arg, pop())`).
+                value = pop()
+                if not 0 <= ins.arg < len(memory):
+                    raise VmError(f"STORE slot {ins.arg} out of range")
+                memory[ins.arg] = value
+            else:  # pragma: no cover - generator never emits the rest
+                raise AssertionError(f"unexpected opcode {op!r}")
+        return state
+
+
+_GEN_ARGLESS = [
+    Opcode.NOP, Opcode.DUP, Opcode.DROP, Opcode.SWAP, Opcode.OVER,
+    Opcode.ROT, Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.NEG,
+    Opcode.ABS, Opcode.MIN, Opcode.MAX, Opcode.LT, Opcode.GT, Opcode.LE,
+    Opcode.GE, Opcode.EQ, Opcode.NE, Opcode.AND, Opcode.OR, Opcode.NOT,
+    Opcode.RET, Opcode.HALT,
+]
+
+_raw_ops = st.one_of(
+    st.sampled_from(_GEN_ARGLESS).map(lambda op: (op, None)),
+    st.tuples(st.just(Opcode.PUSH),
+              st.one_of(
+                  st.integers(min_value=-4, max_value=4).map(float),
+                  # Edge literals: infinities make NaN reachable (inf-inf)
+                  # and signed zeros expose min/max tie-breaking.
+                  st.sampled_from([float("inf"), float("-inf"), -0.0]))),
+    # Memory is 10 slots; 10-12 exercise the out-of-range LOAD/STORE paths.
+    st.tuples(st.sampled_from([Opcode.LOAD, Opcode.STORE]),
+              st.integers(min_value=0, max_value=12)),
+    # Jump targets are patched modulo len+2 below, so a few land out of
+    # range and exercise the runtime "jump target out of range" path.
+    st.tuples(st.sampled_from([Opcode.JMP, Opcode.JZ, Opcode.CALL]),
+              st.integers(min_value=0, max_value=40)),
+)
+
+
+def _build_program(ops: list[tuple[Opcode, float | int | None]]) -> Program:
+    instructions = []
+    n = len(ops)
+    for op, arg in ops:
+        if op in (Opcode.JMP, Opcode.JZ, Opcode.CALL):
+            arg = int(arg) % (n + 2)
+        instructions.append(Instruction(op, arg))
+    return Program("fuzz", instructions=tuple(instructions))
+
+
+@settings(max_examples=200, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=st.lists(_raw_ops, min_size=1, max_size=24),
+       seed_mem=st.lists(st.integers(min_value=-3, max_value=3).map(float),
+                         min_size=10, max_size=10))
+def test_interpreter_matches_reference_semantics(ops, seed_mem):
+    """Production interpreter == seed-semantics reference, byte for byte."""
+    program = _build_program(ops)
+
+    def run(vm, memory):
+        # JSON-canonicalized so NaN results compare equal to themselves
+        # and -0.0 stays distinguishable from 0.0.
+        try:
+            state = vm.execute(program, memory)
+            return json.dumps({"state": state.snapshot(), "memory": memory},
+                              sort_keys=True)
+        except VmError as exc:
+            return json.dumps({"error": str(exc), "memory": memory},
+                              sort_keys=True)
+
+    expected = run(_ReferenceVm(max_steps=400), list(seed_mem))
+    # Twice through the production interpreter: the second run hits the
+    # threaded-code cache, which must not change anything.
+    interp = Interpreter(max_steps=400)
+    actual_cold = run(interp, list(seed_mem))
+    actual_warm = run(interp, list(seed_mem))
+    assert actual_cold == expected
+    assert actual_warm == expected
+
+
+class TestSeedEdgeSemantics:
+    """Edge cases the random generator is unlikely to hit, pinned against
+    the reference interpreter explicitly."""
+
+    def _both(self, instructions, memory):
+        program = Program("edge", instructions=tuple(instructions))
+
+        def run(vm):
+            mem = list(memory)
+            try:
+                state = vm.execute(program, mem)
+                return json.dumps({"state": state.snapshot(), "memory": mem},
+                                  sort_keys=True)
+            except VmError as exc:
+                return json.dumps({"error": str(exc), "memory": mem},
+                                  sort_keys=True)
+
+        expected = run(_ReferenceVm(max_steps=400))
+        actual = run(Interpreter(max_steps=400))
+        assert actual == expected
+        return actual
+
+    def test_min_max_propagate_nan(self):
+        # inf - inf produces NaN; min/max must propagate it like the seed.
+        inf = float("inf")
+        for op in (Opcode.MIN, Opcode.MAX):
+            out = self._both([
+                Instruction(Opcode.PUSH, inf), Instruction(Opcode.PUSH, inf),
+                Instruction(Opcode.SUB), Instruction(Opcode.PUSH, 1.0),
+                Instruction(op), Instruction(Opcode.STORE, 0),
+                Instruction(Opcode.HALT)], [0.0])
+            assert "NaN" in out
+
+    def test_min_max_signed_zero_tie(self):
+        out = self._both([
+            Instruction(Opcode.PUSH, -0.0), Instruction(Opcode.PUSH, 0.0),
+            Instruction(Opcode.MIN), Instruction(Opcode.STORE, 0),
+            Instruction(Opcode.PUSH, 0.0), Instruction(Opcode.PUSH, -0.0),
+            Instruction(Opcode.MAX), Instruction(Opcode.STORE, 1),
+            Instruction(Opcode.HALT)], [9.0, 9.0])
+        # min/max return their *first* operand on ties, preserving sign.
+        assert json.loads(out)["memory"] == [-0.0, 0.0]
+
+    def test_load_coerces_int_memory_to_float(self):
+        # Int-seeded memory (the float type hint is unchecked) must not
+        # leak ints onto the stack: the seed's push() coerced via float().
+        out = self._both([Instruction(Opcode.LOAD, 0),
+                          Instruction(Opcode.HALT)], [5])
+        assert json.loads(out)["state"]["stack"] == [5.0]
+        assert "5.0" in out
+
+
+def _capture() -> None:
+    digests = {name: _digest(fn()) for name, fn in WORKLOADS.items()}
+    GOLDEN_PATH.write_text(json.dumps(
+        {"captured_from": "seed implementation (pre hot-path optimization)",
+         "digests": digests}, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+    for name, digest in digests.items():
+        print(f"  {name}: {digest}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--capture" in sys.argv:
+        _capture()
+    else:
+        print(__doc__)
