@@ -1,0 +1,100 @@
+"""Cross-PR perf-trend gate over the ``BENCH_*.json`` snapshots.
+
+Each perf PR records a ``BENCH_<n>.json`` snapshot with ``baseline`` and
+``optimized`` rate tables (see ``benchmarks/hotpath.py``).  This gate
+loads every snapshot at the repo root in ``<n>`` order and fails when a
+meter's ``optimized`` rate regresses more than the tolerance versus the
+**latest prior snapshot that recorded the same meter** -- i.e. the perf
+trajectory may wobble (snapshots are wall-clock and host-dependent) but
+must not silently fall off a cliff between PRs.
+
+Meters that first appear in a snapshot have no prior to compare against
+and are reported as new.  Exit status: 0 = trend holds, 1 = regression.
+
+Run it the way CI does::
+
+    python benchmarks/bench_trend.py
+    python benchmarks/bench_trend.py --tolerance 0.2 --root .
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.20
+
+_SNAPSHOT_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def load_snapshots(root: Path) -> list[tuple[int, dict]]:
+    """All ``BENCH_<n>.json`` files under ``root``, ordered by ``<n>``."""
+    snapshots = []
+    for path in root.iterdir():
+        match = _SNAPSHOT_RE.match(path.name)
+        if match:
+            snapshots.append((int(match.group(1)),
+                              json.loads(path.read_text())))
+    return sorted(snapshots, key=lambda pair: pair[0])
+
+
+def check_trend(snapshots: list[tuple[int, dict]],
+                tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Regression messages (empty = the trend holds)."""
+    failures: list[str] = []
+    latest_by_meter: dict[str, tuple[int, float]] = {}
+    for number, snapshot in snapshots:
+        optimized = snapshot.get("optimized", {})
+        for meter, rate in sorted(optimized.items()):
+            prior = latest_by_meter.get(meter)
+            if prior is not None:
+                prior_number, prior_rate = prior
+                if prior_rate > 0 and rate < prior_rate * (1.0 - tolerance):
+                    failures.append(
+                        f"{meter}: BENCH_{number} optimized "
+                        f"{rate:,.1f}/s is "
+                        f"{(1.0 - rate / prior_rate) * 100.0:.0f}% below "
+                        f"BENCH_{prior_number} ({prior_rate:,.1f}/s); "
+                        f"tolerance is {tolerance * 100.0:.0f}%")
+            latest_by_meter[meter] = (number, rate)
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="directory holding BENCH_*.json "
+                             "(default: repo root above this file)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional regression per meter "
+                             "(default 0.20)")
+    args = parser.parse_args(argv)
+    root = Path(args.root) if args.root else \
+        Path(__file__).resolve().parent.parent
+    snapshots = load_snapshots(root)
+    if not snapshots:
+        print(f"bench-trend: no BENCH_*.json snapshots under {root}")
+        return 1
+    names = ", ".join(f"BENCH_{n}" for n, _ in snapshots)
+    print(f"bench-trend: {len(snapshots)} snapshot(s): {names}")
+    failures = check_trend(snapshots, args.tolerance)
+    seen: set[str] = set()
+    for number, snapshot in snapshots:
+        for meter, rate in sorted(snapshot.get("optimized", {}).items()):
+            tag = "" if meter in seen else "  [new]"
+            print(f"  BENCH_{number} {meter:<28} {rate:>14,.1f}/s{tag}")
+            seen.add(meter)
+    if failures:
+        print("bench-trend: REGRESSION")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"bench-trend: ok (tolerance {args.tolerance * 100.0:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

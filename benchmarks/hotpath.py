@@ -1,16 +1,18 @@
-"""Hot-path microbenchmarks: events/sec, VM instructions/sec, frames/sec.
+"""Hot-path microbenchmarks: events/sec, VM instructions/sec, frames/sec,
+process resumes/sec and campaign runs/sec.
 
-Standalone driver (not a pytest module) that measures the three inner
-loops every experiment burns time in -- ``Engine`` event dispatch,
-``Interpreter`` bytecode execution and ``Medium`` frame resolution --
-and records the rates into a ``BENCH_*.json`` snapshot so the perf
-trajectory of the repo is tracked across PRs::
+Standalone driver (not a pytest module) that measures the inner loops
+every experiment burns time in -- ``Engine`` event dispatch,
+``Interpreter`` bytecode execution, ``Medium`` frame resolution, the
+``Process`` generator resume path and ``CampaignRunner`` sweep
+throughput -- and records the rates into a ``BENCH_*.json`` snapshot so
+the perf trajectory of the repo is tracked across PRs::
 
     PYTHONPATH=src python benchmarks/hotpath.py --label baseline
     PYTHONPATH=src python benchmarks/hotpath.py --label optimized
 
 Each invocation merges its numbers under the given label into the
-snapshot file (default ``BENCH_2.json`` at the repo root) and, when both
+snapshot file (default ``BENCH_3.json`` at the repo root) and, when both
 ``baseline`` and ``optimized`` are present, computes the speedup table.
 
 The workloads are deterministic; rates are wall-clock and therefore
@@ -39,10 +41,10 @@ REPS = 5
 """Each metric is measured REPS times; the best rate is recorded."""
 
 
-def _best_rate(measure) -> float:
-    """Run ``measure()`` -> (units, seconds) REPS times, return best rate."""
+def _best_rate(measure, reps: int = REPS) -> float:
+    """Run ``measure()`` -> (units, seconds) ``reps`` times, best rate."""
     best = 0.0
-    for _ in range(REPS):
+    for _ in range(reps):
         units, elapsed = measure()
         if elapsed > 0.0:
             best = max(best, units / elapsed)
@@ -72,6 +74,35 @@ def bench_engine_events(n_events: int = 200_000) -> float:
         dispatched = engine.run()
         elapsed = time.perf_counter() - start
         return dispatched, elapsed
+
+    return _best_rate(measure)
+
+
+# ----------------------------------------------------------------------
+# Process: generator resume path (the MAC inner-loop shape)
+# ----------------------------------------------------------------------
+def bench_process_resumes(n_resumes: int = 150_000) -> float:
+    """A generator process ping-ponging ``yield Delay(...)``, the exact
+    shape of the B-MAC/S-MAC/RT-Link inner loops.  The single ``Delay``
+    is reused so the meter isolates the resume machinery itself (arm,
+    dispatch, ``generator.send``) rather than wait-request allocation,
+    which is user-code cost."""
+    from repro.sim.process import Delay, Process
+
+    def measure():
+        engine = Engine()
+        wait = Delay(7)
+
+        def loop():
+            for _ in range(n_resumes):
+                yield wait
+
+        proc = Process(engine, loop(), name="bench")
+        start = time.perf_counter()
+        engine.run()
+        elapsed = time.perf_counter() - start
+        assert not proc.alive
+        return n_resumes, elapsed
 
     return _best_rate(measure)
 
@@ -181,13 +212,45 @@ def bench_carrier_sense(n_probes: int = 100_000, n_nodes: int = 12,
 
 
 # ----------------------------------------------------------------------
+# Campaign: sweep throughput across worker processes
+# ----------------------------------------------------------------------
+def bench_campaign_runs(n_scenarios: int = 6, reps: int = 3) -> float:
+    """A small fault-free grid through the parallel campaign runner.
+
+    The runner object is reused across reps, so an executor that
+    persists between ``run()`` calls amortizes its spawn cost the way a
+    long 100+-scenario session does; best-of-reps reports the warm rate.
+    """
+    from repro.scenarios import CampaignRunner, Scenario
+    from repro.scenarios.stock import fast_hil
+
+    grid = [Scenario(f"bench-{i}", hil=fast_hil(), seed=i, duration_sec=5.0)
+            for i in range(n_scenarios)]
+    runner = CampaignRunner(max_workers=4)
+
+    def measure():
+        start = time.perf_counter()
+        result = runner.run(grid)
+        elapsed = time.perf_counter() - start
+        assert len(result.records) == n_scenarios
+        return n_scenarios, elapsed
+
+    try:
+        return _best_rate(measure, reps=reps)
+    finally:
+        runner.close()
+
+
+# ----------------------------------------------------------------------
 # Snapshot plumbing
 # ----------------------------------------------------------------------
 METRICS = {
     "events_per_sec": bench_engine_events,
+    "process_resumes_per_sec": bench_process_resumes,
     "vm_instructions_per_sec": bench_vm_instructions,
     "frames_per_sec": bench_medium_frames,
     "carrier_sense_per_sec": bench_carrier_sense,
+    "campaign_runs_per_sec": bench_campaign_runs,
 }
 
 
@@ -206,16 +269,17 @@ def main() -> None:
                         choices=("baseline", "optimized"),
                         help="which side of the comparison this run records")
     parser.add_argument("--out", default=None,
-                        help="snapshot path (default: <repo>/BENCH_2.json)")
+                        help="snapshot path (default: <repo>/BENCH_3.json)")
     args = parser.parse_args()
 
     out = Path(args.out) if args.out else \
-        Path(__file__).resolve().parent.parent / "BENCH_2.json"
+        Path(__file__).resolve().parent.parent / "BENCH_3.json"
     snapshot = json.loads(out.read_text()) if out.exists() else {
-        "bench": 2,
+        "bench": 3,
         "description": ("Hot-path microbenchmark snapshot: Engine event "
-                        "dispatch, EVM interpretation, Medium frame "
-                        "resolution (benchmarks/hotpath.py)"),
+                        "dispatch, Process resumes, EVM interpretation, "
+                        "Medium frame resolution, campaign sweep "
+                        "throughput (benchmarks/hotpath.py)"),
     }
     snapshot["host"] = {
         "python": platform.python_version(),

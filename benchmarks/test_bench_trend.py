@@ -1,0 +1,63 @@
+"""The bench-trend gate: snapshot loading and the regression rule."""
+
+import json
+
+from bench_trend import check_trend, load_snapshots, main
+
+
+def _write(root, number, optimized):
+    (root / f"BENCH_{number}.json").write_text(
+        json.dumps({"bench": number, "optimized": optimized}))
+
+
+def test_loads_in_numeric_order(tmp_path):
+    _write(tmp_path, 10, {"m": 1.0})
+    _write(tmp_path, 2, {"m": 1.0})
+    (tmp_path / "BENCH_x.json").write_text("{}")  # ignored: not numbered
+    assert [n for n, _ in load_snapshots(tmp_path)] == [2, 10]
+
+
+def test_within_tolerance_passes():
+    snapshots = [(1, {"optimized": {"m": 100.0}}),
+                 (2, {"optimized": {"m": 85.0}})]  # -15% < 20%
+    assert check_trend(snapshots, tolerance=0.20) == []
+
+
+def test_regression_beyond_tolerance_fails():
+    snapshots = [(1, {"optimized": {"m": 100.0}}),
+                 (2, {"optimized": {"m": 75.0}})]  # -25% > 20%
+    failures = check_trend(snapshots, tolerance=0.20)
+    assert len(failures) == 1 and "m:" in failures[0]
+
+
+def test_comparison_is_against_latest_prior_with_meter():
+    # BENCH_2 lacks the meter: BENCH_3 compares against BENCH_1, and a
+    # recovery in BENCH_3 must not be judged against BENCH_1's peak.
+    snapshots = [(1, {"optimized": {"m": 100.0, "n": 50.0}}),
+                 (2, {"optimized": {"n": 49.0}}),
+                 (3, {"optimized": {"m": 90.0, "n": 45.0}})]
+    assert check_trend(snapshots, tolerance=0.20) == []
+    snapshots.append((4, {"optimized": {"m": 60.0}}))  # -33% vs BENCH_3
+    failures = check_trend(snapshots, tolerance=0.20)
+    assert len(failures) == 1 and "BENCH_3" in failures[0]
+
+
+def test_new_meter_has_no_prior():
+    snapshots = [(1, {"optimized": {"m": 100.0}}),
+                 (2, {"optimized": {"m": 100.0, "fresh": 1.0}})]
+    assert check_trend(snapshots) == []
+
+
+def test_main_ok_and_regression_exit_codes(tmp_path, capsys):
+    _write(tmp_path, 1, {"m": 100.0})
+    _write(tmp_path, 2, {"m": 95.0})
+    assert main(["--root", str(tmp_path)]) == 0
+    _write(tmp_path, 3, {"m": 10.0})
+    assert main(["--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+
+
+def test_main_repo_snapshots_hold():
+    """The real repo snapshots must satisfy their own gate."""
+    assert main([]) == 0

@@ -66,6 +66,56 @@ def test_engine_cancellation_churn(benchmark):
     assert fired == n_events // 2
 
 
+def test_process_resume_throughput(benchmark):
+    """The allocation-free resume path drives a Delay ping-pong loop to
+    completion; every lap must land on the engine's clock grid."""
+    from repro.sim.process import Delay, Process
+
+    n_resumes = 20_000
+
+    def drive() -> int:
+        engine = Engine()
+        wait = Delay(7)
+
+        def loop():
+            for _ in range(n_resumes):
+                yield wait
+
+        proc = Process(engine, loop(), name="smoke")
+        engine.run()
+        assert not proc.alive
+        return engine.now
+
+    final_time = benchmark.pedantic(drive, rounds=3, iterations=1)
+    assert final_time == n_resumes * 7
+
+
+def test_campaign_runner_pool_reuse(benchmark):
+    """Two runs through one CampaignRunner: the persistent pool must be
+    reused and both runs must produce identical records."""
+    import json
+
+    from repro.scenarios import CampaignRunner, Scenario
+    from repro.scenarios.stock import fast_hil
+
+    grid = [Scenario(f"smoke-{i}", hil=fast_hil(), seed=i, duration_sec=3.0)
+            for i in range(2)]
+
+    def drive():
+        with CampaignRunner(max_workers=2) as runner:
+            first = runner.run(grid)
+            pool = runner._pool
+            second = runner.run(grid)
+            assert runner._pool is pool  # persistent across run() calls
+        assert runner._pool is None  # context exit reaped it
+        return first, second
+
+    first, second = benchmark.pedantic(drive, rounds=1, iterations=1)
+    assert len(first.records) == len(grid)
+    assert (json.dumps(first.records, sort_keys=True)
+            == json.dumps(second.records, sort_keys=True))
+
+
 def test_vm_dispatch_throughput(benchmark):
     iterations = 5_000
     program = Assembler().assemble(_COUNTDOWN, name="countdown")
@@ -78,6 +128,8 @@ def test_vm_dispatch_throughput(benchmark):
         return state.steps
 
     steps = benchmark.pedantic(drive, rounds=3, iterations=1)
+    # Virtual step accounting is preserved even though the peephole pass
+    # executes the loop in fewer dispatches.
     assert steps >= iterations * 7
 
 

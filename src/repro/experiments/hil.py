@@ -370,13 +370,7 @@ class HilRig:
 
     def _rephase(self, kernel, task_name: str, offset_ticks: int) -> None:
         """Restart a periodic task's release chain at ``offset_ticks``."""
-        scheduler = kernel.scheduler
-        tcb = scheduler.tasks[task_name]
-        handle = scheduler._release_events.pop(task_name, None)
-        if handle is not None:
-            handle.cancel()
-        scheduler._release_events[task_name] = kernel.engine.schedule(
-            offset_ticks, scheduler._release, tcb, priority=-5)
+        kernel.scheduler.rephase_release(task_name, offset_ticks)
 
     # ------------------------------------------------------------------
     # Execution

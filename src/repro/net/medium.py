@@ -17,7 +17,13 @@ The hot paths are indexed rather than scanned:
 - ``_active`` is a start-time-ordered deque pruned incrementally from the
   front (engine time is monotone, so appends arrive in order);
 - a per-node ``busy_until`` horizon makes :meth:`MediumPort.channel_busy`
-  a single dict lookup instead of a scan over all in-flight frames.
+  a single dict lookup instead of a scan over all in-flight frames;
+- end-of-frame resolution is **batched**: completion resolves all receivers
+  in one pass over a prebuilt per-sender ``(port, node, distance, audible)``
+  row list (cached against ``Topology.version`` and invalidated by
+  :meth:`Medium.attach`), with the temporal overlap window computed once
+  per completion instead of once per receiver, and stats counters
+  accumulated in locals and flushed once.
 """
 
 from __future__ import annotations
@@ -102,7 +108,7 @@ class Medium:
         self.topology = topology
         self.link_model = link_model or PerfectLinks()
         self.rng = rng or random.Random(0)
-        self.trace = trace
+        self.trace = trace  # property: also maintains trace_enabled
         self.stats = MediumStats()
         self._ports: dict[str, MediumPort] = {}
         # Ordered by (non-decreasing) start time; pruned from the front.
@@ -111,8 +117,13 @@ class Medium:
         self._topo_version = topology.version
         self._neighbor_tuples: dict[str, tuple[str, ...]] = {}
         self._audible_sets: dict[str, frozenset[str]] = {}
-        self._distances: dict[tuple[str, str], float] = {}
         self._busy_until: dict[str, int] = {}
+        # Per-sender receiver rows: (port, node, receiver_id, distance,
+        # audible-set) for every *attached* neighbor, in topology insertion
+        # order.  Invalidated by topology bumps and by attach().
+        self._receiver_rows: dict[
+            str, tuple[tuple[MediumPort, FireFlyNode, str, float,
+                             frozenset[str]], ...]] = {}
 
     def attach(self, node: FireFlyNode) -> MediumPort:
         if node.node_id in self._ports:
@@ -121,10 +132,24 @@ class Medium:
             raise KeyError(f"node {node.node_id!r} not in topology")
         port = MediumPort(self, node)
         self._ports[node.node_id] = port
+        # A new port can appear in any sender's receiver set.
+        self._receiver_rows.clear()
         return port
 
     def port(self, node_id: str) -> MediumPort:
         return self._ports[node_id]
+
+    @property
+    def trace(self) -> Trace | None:
+        return self._trace
+
+    @trace.setter
+    def trace(self, value: Trace | None) -> None:
+        # trace_enabled is the hot-path bool the no-trace campaign path
+        # branches on; the property keeps it in lockstep even when a
+        # trace is attached or detached after construction.
+        self._trace = value
+        self.trace_enabled = value is not None
 
     # ------------------------------------------------------------------
     # Topology indexes
@@ -132,6 +157,10 @@ class Medium:
     def _check_indexes(self) -> None:
         if self._topo_version != self.topology.version:
             self._rebuild_indexes()
+            # Full verification only on the (rare) rebuild edge; stripped
+            # under -O.  Guards against a future rebuild that tries to
+            # preserve cache entries and leaves stale keys behind.
+            assert self.check_indexes_consistent()
 
     def _rebuild_indexes(self) -> None:
         """Invalidate neighbor caches and recompute carrier-sense horizons
@@ -139,12 +168,36 @@ class Medium:
         self._topo_version = self.topology.version
         self._neighbor_tuples.clear()
         self._audible_sets.clear()
-        self._distances.clear()
         self._busy_until.clear()
+        self._receiver_rows.clear()
         now = self.engine.now
         for tx in self._active:
             if tx.end > now:
                 self._raise_busy_horizons(tx.sender, tx.end)
+
+    def check_indexes_consistent(self) -> bool:
+        """True iff every cached index entry matches a fresh computation
+        from the current topology and no stale (evicted-topology) keys
+        remain.  O(cache size); used by the rebuild assert and tests."""
+        topology = self.topology
+        if self._topo_version != topology.version:
+            return False
+        for sender, cached in self._neighbor_tuples.items():
+            if cached != tuple(topology.neighbors(sender)):
+                return False
+        for receiver, cached in self._audible_sets.items():
+            if cached != frozenset(topology.neighbors(receiver)):
+                return False
+        for sender, rows in self._receiver_rows.items():
+            expected = [rid for rid in topology.neighbors(sender)
+                        if rid in self._ports]
+            if [row[2] for row in rows] != expected:
+                return False
+            if any(row[3] != topology.distance(sender, row[2])
+                   or row[4] != frozenset(topology.neighbors(row[2]))
+                   for row in rows):
+                return False
+        return True
 
     def _neighbors_of(self, sender: str) -> tuple[str, ...]:
         """Audible receivers of ``sender``, in topology insertion order
@@ -188,20 +241,103 @@ class Medium:
         self._raise_busy_horizons(node.node_id, tx.end)
         self.stats.frames_sent += 1
         node.radio.set_state(RadioState.TX)
-        if self.trace is not None:
+        if self.trace_enabled:
             self.trace.record(now, "medium.tx", node.node_id,
                               kind=packet.kind, dst=packet.dst,
                               bytes=packet.on_air_bytes, seq=packet.seq)
         self.engine.post(airtime, self._complete, tx, node, after_state)
         return airtime
 
+    def _receiver_rows_of(self, sender: str) -> tuple[tuple, ...]:
+        """Resolution rows for ``sender``'s frames: one ``(port, node,
+        receiver_id, distance, audible)`` entry per *attached* neighbor,
+        in topology insertion order (the order the unindexed medium
+        resolved receptions in)."""
+        rows = []
+        ports = self._ports
+        topology = self.topology
+        for receiver_id in self._neighbors_of(sender):
+            port = ports.get(receiver_id)
+            if port is None:
+                continue
+            rows.append((port, port.node, receiver_id,
+                         topology.distance(sender, receiver_id),
+                         self._audible_at(receiver_id)))
+        cached = tuple(rows)
+        self._receiver_rows[sender] = cached
+        return cached
+
     def _complete(self, tx: _Transmission, node: FireFlyNode,
                   after_state: RadioState) -> None:
+        """Resolve one finished frame at every audible receiver.
+
+        Per-receiver dict lookups (port, distance, audible set) come from
+        the prebuilt receiver rows, the temporal overlap window over
+        ``_active`` is computed once for the whole completion instead of
+        once per receiver, and stats counters accumulate in locals that
+        flush in a single batch."""
         if not node.failed:
             node.radio.set_state(after_state)
         self._check_indexes()
-        for receiver_id in self._neighbors_of(tx.sender):
-            self._resolve_reception(tx, receiver_id)
+        sender = tx.sender
+        rows = self._receiver_rows.get(sender)
+        if rows is None:
+            rows = self._receiver_rows_of(sender)
+        # Senders of every frame that temporally overlapped tx.  The deque
+        # is start-ordered, so the scan early-breaks past tx's end.
+        tx_start = tx.start
+        tx_end = tx.end
+        overlap: list[str] = []
+        for other in self._active:
+            if other.start >= tx_end:
+                break
+            if other is not tx and other.end > tx_start:
+                overlap.append(other.sender)
+        packet = tx.packet
+        on_air = packet.on_air_bytes
+        survives = self.link_model.frame_survives_link
+        rng = self.rng
+        trace = self.trace
+        traced = self.trace_enabled
+        rx_state = RadioState.RX
+        delivered = collisions = losses = missed = 0
+        for port, rnode, receiver_id, distance, audible in rows:
+            if rnode.failed or rnode.radio.state is not rx_state:
+                missed += 1
+                continue
+            if overlap:
+                collided = False
+                for other_sender in overlap:
+                    if other_sender == receiver_id:
+                        collided = True  # receiver was itself transmitting
+                        break
+                    if other_sender in audible:
+                        collided = True
+                        break
+                if collided:
+                    collisions += 1
+                    if traced:
+                        trace.record(self.engine.now, "medium.collision",
+                                     receiver_id, seq=packet.seq,
+                                     sender=sender)
+                    continue
+            if not survives(sender, receiver_id, distance, on_air, rng):
+                losses += 1
+                if traced:
+                    trace.record(self.engine.now, "medium.loss", receiver_id,
+                                 seq=packet.seq, sender=sender)
+                continue
+            delivered += 1
+            if traced:
+                trace.record(self.engine.now, "medium.rx", receiver_id,
+                             kind=packet.kind, src=sender, seq=packet.seq)
+            if port.receive_callback is not None:
+                port.receive_callback(packet)
+        stats = self.stats
+        stats.frames_delivered += delivered
+        stats.collisions += collisions
+        stats.channel_losses += losses
+        stats.missed_radio_off += missed
         # Keep finished transmissions around for a grace window so later
         # frames that overlapped them still detect the collision; pruned
         # incrementally in _prune (B-MAC preambles are the longest frames).
@@ -222,60 +358,6 @@ class Medium:
         active = self._active
         while active and active[0].end < horizon:
             active.popleft()
-
-    def _resolve_reception(self, tx: _Transmission, receiver_id: str) -> None:
-        port = self._ports.get(receiver_id)
-        if port is None:
-            return
-        node = port.node
-        if node.failed or node.radio.state is not RadioState.RX:
-            self.stats.missed_radio_off += 1
-            return
-        if self._collided_at(tx, receiver_id):
-            self.stats.collisions += 1
-            if self.trace is not None:
-                self.trace.record(self.engine.now, "medium.collision",
-                                  receiver_id, seq=tx.packet.seq,
-                                  sender=tx.sender)
-            return
-        key = (tx.sender, receiver_id)
-        distance = self._distances.get(key)
-        if distance is None:
-            distance = self.topology.distance(tx.sender, receiver_id)
-            self._distances[key] = distance
-        if not self.link_model.frame_survives_link(tx.sender, receiver_id,
-                                                   distance,
-                                                   tx.packet.on_air_bytes,
-                                                   self.rng):
-            self.stats.channel_losses += 1
-            if self.trace is not None:
-                self.trace.record(self.engine.now, "medium.loss", receiver_id,
-                                  seq=tx.packet.seq, sender=tx.sender)
-            return
-        self.stats.frames_delivered += 1
-        if self.trace is not None:
-            self.trace.record(self.engine.now, "medium.rx", receiver_id,
-                              kind=tx.packet.kind, src=tx.sender,
-                              seq=tx.packet.seq)
-        if port.receive_callback is not None:
-            port.receive_callback(tx.packet)
-
-    def _collided_at(self, tx: _Transmission, receiver_id: str) -> bool:
-        """True if another overlapping frame was audible at the receiver."""
-        audible = self._audible_at(receiver_id)
-        tx_start = tx.start
-        tx_end = tx.end
-        for other in self._active:
-            if other.start >= tx_end:
-                break  # start-ordered: nothing later can overlap
-            if other is tx or other.end <= tx_start:
-                continue
-            sender = other.sender
-            if sender == receiver_id:
-                return True  # receiver was itself transmitting
-            if sender in audible:
-                return True
-        return False
 
     def _channel_busy(self, node_id: str) -> bool:
         if self._topo_version != self.topology.version:

@@ -11,6 +11,14 @@ Task *bodies* (Python callables) run at job completion and take zero extra
 simulated time -- the job's WCET already accounts for the computation.
 Exceptions raised by bodies are contained and traced as task faults, which is
 one of the fault-injection paths the failover experiments use.
+
+Periodic release and reservation-replenishment chains are armed through the
+engine's allocation-free ``post`` path with a per-task *generation token*
+(the same pattern :class:`~repro.sim.process.Process` uses for resumes):
+the chains only ever need cancelling on task removal, suspend-to-crash or
+reconfiguration, so "cancel" is a generation bump instead of an
+:class:`~repro.sim.engine.EventHandle` allocated every single period.
+Slice-end events keep real handles -- preemption cancels them routinely.
 """
 
 from __future__ import annotations
@@ -71,8 +79,16 @@ class Scheduler:
         self._current: Job | None = None
         self._slice_start = 0
         self._slice_event: EventHandle | None = None
-        self._release_events: dict[str, EventHandle] = {}
-        self._replenish_events: dict[str, EventHandle] = {}
+        # Generation tokens for the periodic chains: an in-flight release/
+        # replenish event is live iff it carries the current generation for
+        # its task; removal/halt/reconfiguration just bump (or drop) the
+        # entry and the stale event no-ops when it pops.  Generations are
+        # drawn from one scheduler-wide monotonic counter that is NEVER
+        # reset, so an event stranded by halt()/remove_task() can never
+        # collide with a generation handed out after a restart/re-add.
+        self._gen_counter = 0
+        self._release_gens: dict[str, int] = {}
+        self._replenish_gens: dict[str, int] = {}
         self.context_switches = 0
         self.preemptions = 0
         self.total_busy_ticks = 0
@@ -93,18 +109,30 @@ class Scheduler:
             self.set_cpu_reservation(tcb.name, reservation)
         if tcb.spec.period_ticks is not None:
             tcb.state = TaskState.SLEEPING
-            self._release_events[tcb.name] = self.engine.schedule(
-                tcb.spec.offset_ticks, self._release, tcb, priority=-5)
+            self._arm_release(tcb, tcb.spec.offset_ticks)
+
+    def _arm_release(self, tcb: Tcb, delay: int) -> None:
+        self._gen_counter = gen = self._gen_counter + 1
+        self._release_gens[tcb.name] = gen
+        self.engine.post(delay, self._release, tcb, gen, priority=-5)
+
+    def _arm_replenish(self, name: str, delay: int) -> None:
+        self._gen_counter = gen = self._gen_counter + 1
+        self._replenish_gens[name] = gen
+        self.engine.post(delay, self._replenish, name, gen, priority=-6)
+
+    def rephase_release(self, name: str, offset_ticks: int) -> None:
+        """Restart a periodic task's release chain ``offset_ticks`` from
+        now (experiment rigs use this to apply release offsets)."""
+        self._arm_release(self.tasks[name], offset_ticks)
 
     def remove_task(self, name: str) -> Tcb:
         """Detach a task entirely (EVM migration source side)."""
         if name not in self.tasks:
             raise KeyError(f"no task {name!r}")
         tcb = self.tasks.pop(name)
-        for events in (self._release_events, self._replenish_events):
-            handle = events.pop(name, None)
-            if handle is not None:
-                handle.cancel()
+        self._release_gens.pop(name, None)
+        self._replenish_gens.pop(name, None)
         self.cpu_reservations.pop(name, None)
         for _key, job in self._ready:
             if job.tcb is tcb:
@@ -143,12 +171,10 @@ class Scheduler:
         """Attach/replace a CPU reservation (EVM resource re-allocation)."""
         if name not in self.tasks:
             raise KeyError(f"no task {name!r}")
-        old = self._replenish_events.pop(name, None)
-        if old is not None:
-            old.cancel()
         self.cpu_reservations[name] = reservation
-        self._replenish_events[name] = self.engine.schedule(
-            reservation.period_ticks, self._replenish, name, priority=-6)
+        # Arming bumps the generation, which also retires any chain armed
+        # for a previously attached reservation.
+        self._arm_replenish(name, reservation.period_ticks)
 
     def spawn_job(self, name: str, exec_ticks: int | None = None,
                   deadline_ticks: int | None = None) -> Job:
@@ -183,10 +209,9 @@ class Scheduler:
     def halt(self) -> None:
         """Stop all scheduling activity (node crash)."""
         self.halted = True
-        for events in (self._release_events, self._replenish_events):
-            for handle in events.values():
-                handle.cancel()
-            events.clear()
+        # Dropping the generations strands every in-flight periodic event.
+        self._release_gens.clear()
+        self._replenish_gens.clear()
         if self._current is not None:
             self._halt_current_slice(requeue=False)
         for _key, job in self._ready:
@@ -217,11 +242,9 @@ class Scheduler:
                 continue
             if tcb.spec.period_ticks is not None:
                 tcb.state = TaskState.SLEEPING
-                self._release_events[tcb.name] = self.engine.schedule(
-                    tcb.spec.offset_ticks, self._release, tcb, priority=-5)
+                self._arm_release(tcb, tcb.spec.offset_ticks)
         for name, reservation in self.cpu_reservations.items():
-            self._replenish_events[name] = self.engine.schedule(
-                reservation.period_ticks, self._replenish, name, priority=-6)
+            self._arm_replenish(name, reservation.period_ticks)
 
     def finalize_energy_accounting(self) -> None:
         """Charge idle current for all non-busy time up to now."""
@@ -236,13 +259,12 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Internal machinery
     # ------------------------------------------------------------------
-    def _release(self, tcb: Tcb) -> None:
-        if self.halted or tcb.name not in self.tasks:
-            return
+    def _release(self, tcb: Tcb, gen: int) -> None:
+        if self.halted or gen != self._release_gens.get(tcb.name):
+            return  # stale chain: task removed, node crashed, or re-phased
         spec = tcb.spec
         # Chain the next periodic release regardless of suspension.
-        self._release_events[tcb.name] = self.engine.schedule(
-            spec.period_ticks, self._release, tcb, priority=-5)
+        self._arm_release(tcb, spec.period_ticks)
         if tcb.state is TaskState.SUSPENDED:
             return
         tcb.jobs_released += 1
@@ -367,13 +389,12 @@ class Scheduler:
             self.trace.record(self.engine.now, "rtos.throttle", self.node_id,
                               task=job.tcb.name, remaining=job.remaining)
 
-    def _replenish(self, name: str) -> None:
-        if self.halted or name not in self.cpu_reservations:
-            return
+    def _replenish(self, name: str, gen: int) -> None:
+        if self.halted or gen != self._replenish_gens.get(name):
+            return  # stale chain: reservation replaced or task removed
         reservation = self.cpu_reservations[name]
         reservation.replenish()
-        self._replenish_events[name] = self.engine.schedule(
-            reservation.period_ticks, self._replenish, name, priority=-6)
+        self._arm_replenish(name, reservation.period_ticks)
         waiting = self._throttled.get(name, [])
         self._throttled[name] = []
         for job in waiting:

@@ -6,14 +6,25 @@ Layout under the store root::
       campaign.json            # campaign-level manifest + summary
       runs/
         <run_id>.json          # one record per run: spec + metrics
+      runs.staging/            # in-flight campaign being streamed
 
 Each run record carries the full scenario spec (including the seed), so
 any run can be reproduced later from its JSON alone.
+
+A streaming campaign writes each record into ``runs.staging/`` as it
+arrives and *commits* the staged set over ``runs/`` only once the whole
+grid finished -- a failed or interrupted campaign leaves the previously
+persisted campaign (runs + summary) fully intact.  The commit itself is
+a directory-rename swap through ``runs.old/`` (recovered on open), so
+even a crash mid-commit leaves one whole campaign's records, never a
+mix; only the window between the swap and ``save_summary`` can pair new
+runs with the previous summary.
 """
 
 from __future__ import annotations
 
 import json
+import shutil
 from pathlib import Path
 from typing import Any
 
@@ -24,7 +35,56 @@ class ResultsStore:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.runs_dir = self.root / "runs"
+        self._staging_dir = self.root / "runs.staging"
+        self._old_dir = self.root / "runs.old"
+        # Recover from a commit interrupted between its two renames:
+        # runs/ missing with runs.old/ present means the previous
+        # campaign was parked but the staged one never swapped in --
+        # roll back.  Both present means the swap finished and only the
+        # cleanup was lost -- finish it.
+        if self._old_dir.exists():
+            if not self.runs_dir.exists():
+                self._old_dir.rename(self.runs_dir)
+            else:
+                shutil.rmtree(self._old_dir)
         self.runs_dir.mkdir(parents=True, exist_ok=True)
+
+    def stage_run(self, run_id: str, record: dict[str, Any]) -> Path:
+        """Stream one record into the staging area (see module docs)."""
+        self._staging_dir.mkdir(parents=True, exist_ok=True)
+        path = self._staging_dir / f"{run_id}.json"
+        path.write_text(json.dumps(record, indent=2, sort_keys=True))
+        return path
+
+    def commit_staged(self) -> int:
+        """Promote the staged campaign: the previous run records are
+        dropped and every staged record moves into ``runs/``.  Returns
+        the number of committed records.
+
+        The swap is two directory renames (park ``runs/``, promote
+        ``runs.staging/``), so a crash at any point leaves either the
+        old or the new campaign whole -- never a half-populated mix;
+        ``__init__`` completes or rolls back an interrupted swap.
+        """
+        if not self._staging_dir.exists():
+            self.clear_runs()  # committing an empty grid
+            return 0
+        committed = len(list(self._staging_dir.glob("*.json")))
+        self.runs_dir.rename(self._old_dir)
+        self._staging_dir.rename(self.runs_dir)
+        shutil.rmtree(self._old_dir)
+        return committed
+
+    def discard_staged(self) -> int:
+        """Drop any staged records (failed campaign, or leftovers from an
+        interrupted process); returns how many were removed."""
+        if not self._staging_dir.exists():
+            return 0
+        stale = list(self._staging_dir.glob("*.json"))
+        for path in stale:
+            path.unlink()
+        self._staging_dir.rmdir()
+        return len(stale)
 
     def clear_runs(self) -> int:
         """Delete all persisted run records (fresh campaign into a reused

@@ -17,6 +17,15 @@ Two scheduling paths share the queue:
 
 Both paths dispatch identically; the sequence number keeps the total
 order exactly as if every event had gone through ``schedule``.
+
+Callers that *rarely* cancel should not pay for ``schedule`` either: the
+idiom used by :class:`~repro.sim.process.Process` and the RTOS periodic
+release/replenish chains is a **generation token** -- post the event with a
+monotonically increasing generation baked into its arguments and have the
+callback drop stale generations, so "cancellation" is an integer bump and
+the armed path allocates nothing.  The stale entry dispatches as a no-op
+(and therefore counts in ``dispatched_count``), whereas a cancelled handle
+is skipped; total order of live events is identical either way.
 """
 
 from __future__ import annotations

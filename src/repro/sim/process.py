@@ -16,13 +16,23 @@ types are supported:
 - :class:`WaitSignal` -- resume when a :class:`Signal` fires (the ``yield``
   evaluates to the signal payload) or when the optional timeout elapses
   (the ``yield`` evaluates to :data:`TIMEOUT`).
+
+Resumes are **allocation-free**: instead of holding a cancellable
+:class:`~repro.sim.engine.EventHandle` per wait, the process carries a
+monotonically increasing *generation* counter and arms every wait through
+the engine's fire-and-forget ``post`` path with the generation baked into
+the callback arguments.  Cancellation (``kill``, a signal winning the race
+against its timeout) just bumps the generation, which turns any in-flight
+resume into a no-op when it pops -- the common MAC inner loop
+(B-MAC/S-MAC/RT-Link all run as generator processes) allocates nothing
+per ``Delay`` resume.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Generator, Iterable
 
-from repro.sim.engine import Engine, EventHandle, SimulationError
+from repro.sim.engine import Engine, SimulationError
 
 
 class _Timeout:
@@ -115,7 +125,15 @@ class Process:
 
     The process starts on the next engine dispatch (never synchronously), so
     construction order in user code does not affect event order subtleties.
+
+    ``_generation`` identifies the currently-armed wait: every arm bumps it
+    and bakes the new value into the posted resume's arguments, so a resume
+    whose generation no longer matches (killed process, lost signal/timeout
+    race) falls through as a no-op instead of needing a cancellable handle.
     """
+
+    __slots__ = ("engine", "name", "_gen", "alive", "result", "_generation",
+                 "_unsubscribe", "_post", "_resume_cb")
 
     def __init__(self, engine: Engine, generator: Generator, name: str = "") -> None:
         self.engine = engine
@@ -123,79 +141,85 @@ class Process:
         self._gen = generator
         self.alive = True
         self.result: Any = None
-        self._pending_event: EventHandle | None = None
+        self._generation = 1
         self._unsubscribe: Callable[[], None] | None = None
-        self._pending_event = engine.schedule(0, self._resume, None)
+        # Bound once: the resume path would otherwise re-create the bound
+        # method (and re-resolve engine.post) on every single wait.
+        self._post = engine.post
+        self._resume_cb = self._resume_if
+        self._post(0, self._resume_cb, 1, None)
 
     def kill(self) -> None:
         """Stop the process; its generator is closed and never resumed."""
         if not self.alive:
             return
         self.alive = False
-        if self._pending_event is not None:
-            self._pending_event.cancel()
-            self._pending_event = None
+        self._generation += 1  # any in-flight resume is now stale
         if self._unsubscribe is not None:
             self._unsubscribe()
             self._unsubscribe = None
         self._gen.close()
 
-    def _resume(self, value: Any) -> None:
-        if not self.alive:
+    def _resume_if(self, gen: int, value: Any) -> None:
+        """Resume the generator iff ``gen`` is still the armed wait."""
+        if gen != self._generation or not self.alive:
             return
-        self._pending_event = None
-        self._unsubscribe = None
         try:
             request = self._gen.send(value)
         except StopIteration as stop:
             self.alive = False
             self.result = stop.value
             return
-        self._arm(request)
-
-    def _arm(self, request: Any) -> None:
         if isinstance(request, Delay):
-            self._pending_event = self.engine.schedule(
-                request.ticks, self._resume, None)
+            # The hot path: no handle, no closure -- one heap entry
+            # carrying the next generation.
+            self._generation = gen = self._generation + 1
+            self._post(request.ticks, self._resume_cb, gen, None)
         elif isinstance(request, WaitSignal):
             self._arm_wait_signal(request)
         else:
-            self.alive = False
-            raise SimulationError(
-                f"process {self.name!r} yielded unsupported request "
-                f"{request!r}; expected Delay or WaitSignal"
-            )
+            self._fail_request(request)
+
+    def _fail_request(self, request: Any) -> None:
+        # Tear down fully before raising: the generator is closed (its
+        # finally blocks run) and no stale waiter can resurrect us.
+        self.alive = False
+        self._generation += 1
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        self._gen.close()
+        raise SimulationError(
+            f"process {self.name!r} yielded unsupported request "
+            f"{request!r}; expected Delay or WaitSignal"
+        )
 
     def _arm_wait_signal(self, request: WaitSignal) -> None:
-        resumed = False
+        self._generation = gen = self._generation + 1
 
         def on_signal(payload: Any) -> None:
-            nonlocal resumed
-            if resumed:
+            if gen != self._generation or not self.alive:
                 return
-            resumed = True
-            if self._pending_event is not None:
-                self._pending_event.cancel()
-                self._pending_event = None
-            # Resume on the engine to avoid re-entrant generator sends when
-            # a signal fires from within this same process's call stack.
-            self._pending_event = self.engine.schedule(0, self._resume, payload)
+            # Consuming the wait bumps the generation, which also settles
+            # the race: a timeout still in the heap is now stale.  Resume
+            # on the engine to avoid re-entrant generator sends when a
+            # signal fires from within this same process's call stack.
+            self._generation = new_gen = gen + 1
+            self._unsubscribe = None
+            self._post(0, self._resume_cb, new_gen, payload)
 
         self._unsubscribe = request.signal.wait(on_signal)
 
         if request.timeout is not None:
-            def on_timeout() -> None:
-                nonlocal resumed
-                if resumed:
-                    return
-                resumed = True
-                if self._unsubscribe is not None:
-                    self._unsubscribe()
-                    self._unsubscribe = None
-                self._resume(TIMEOUT)
+            self._post(request.timeout, self._on_timeout, gen)
 
-            self._pending_event = self.engine.schedule(
-                request.timeout, on_timeout)
+    def _on_timeout(self, gen: int) -> None:
+        if gen != self._generation or not self.alive:
+            return  # the signal won the race (or the process died)
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        self._resume_if(gen, TIMEOUT)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "alive" if self.alive else "dead"

@@ -82,7 +82,28 @@ def campaign_payload() -> str:
 
 
 # ----------------------------------------------------------------------
-# Workload 3: fixed VM program suite (states, outputs, errors)
+# Workload 3: MAC-heavy trials (process-resume-dominated)
+# ----------------------------------------------------------------------
+def mac_heavy_payload() -> str:
+    """All three MAC protocols on a small mesh at a high event rate.
+
+    B-MAC/S-MAC/RT-Link all run as generator :class:`Process` loops, so
+    this run is dominated by ``yield Delay(...)`` resumes -- it pins the
+    resume-token fast path (and the batched medium resolution feeding
+    it) to the seed semantics, stats, energy accounting and latencies.
+    """
+    from repro.experiments.mac_comparison import run_mac_trial
+
+    rows = {}
+    for protocol in ("rtlink", "bmac", "smac"):
+        result = run_mac_trial(protocol, duty_pct=5.0, event_period_sec=0.5,
+                               n_members=4, duration_sec=30.0, seed=11)
+        rows[protocol] = dataclasses.asdict(result)
+    return json.dumps(rows, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Workload 4: fixed VM program suite (states, outputs, errors)
 # ----------------------------------------------------------------------
 _VM_SUITE = {
     "arith": ("push 10\npush 4\nsub\nstore 0\npush 3\npush 5\nmul\nstore 1\n"
@@ -169,6 +190,7 @@ def vm_payload() -> str:
 WORKLOADS = {
     "fig6": fig6_payload,
     "campaign": campaign_payload,
+    "mac_heavy": mac_heavy_payload,
     "vm_suite": vm_payload,
 }
 
@@ -193,6 +215,9 @@ class TestGoldenDigests:
         payload = campaign_payload()
         assert payload == campaign_payload()  # replay identity
         assert _digest(payload) == _goldens()["campaign"]
+
+    def test_mac_heavy_matches_seed_golden(self):
+        assert _digest(mac_heavy_payload()) == _goldens()["mac_heavy"]
 
 
 # ----------------------------------------------------------------------
@@ -388,6 +413,115 @@ def test_interpreter_matches_reference_semantics(ops, seed_mem):
     actual_warm = run(interp, list(seed_mem))
     assert actual_cold == expected
     assert actual_warm == expected
+
+
+# ----------------------------------------------------------------------
+# Peephole property: fused programs match the reference transcript
+# ----------------------------------------------------------------------
+# Chunks shaped like the idioms the peephole pass fuses, so generated
+# programs hit fusion sites constantly instead of by uniform accident.
+_consts = st.one_of(
+    st.integers(min_value=-3, max_value=3).map(float),
+    st.sampled_from([float("inf"), -0.0]))
+_binops = st.sampled_from([
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.MIN, Opcode.MAX,
+    Opcode.LT, Opcode.GT, Opcode.LE, Opcode.GE, Opcode.EQ, Opcode.NE,
+    Opcode.AND, Opcode.OR])
+
+_idiom_chunks = st.one_of(
+    # PUSH c; binop  -> push+binop fusion (DIV 0 exercises the no-fuse path)
+    st.tuples(_consts, _binops).map(
+        lambda t: [(Opcode.PUSH, t[0]), (t[1], None)]),
+    # PUSH a; PUSH b; binop -> constant folding
+    st.tuples(_consts, _consts, _binops).map(
+        lambda t: [(Opcode.PUSH, t[0]), (Opcode.PUSH, t[1]), (t[2], None)]),
+    st.just([(Opcode.DUP, None), (Opcode.DROP, None)]),
+    # STORE s; LOAD s -> write-through (11-12 exercise bad slots)
+    st.integers(min_value=0, max_value=12).map(
+        lambda s: [(Opcode.STORE, s), (Opcode.LOAD, s)]),
+    # LOAD s; JZ t -> fused branch
+    st.tuples(st.integers(min_value=0, max_value=12),
+              st.integers(min_value=0, max_value=40)).map(
+        lambda t: [(Opcode.LOAD, t[0]), (Opcode.JZ, t[1])]),
+    # JMP chains -> jump threading
+    st.integers(min_value=0, max_value=40).map(
+        lambda t: [(Opcode.JMP, t)]),
+    # Interleaved singles keep the patterns from aligning trivially.
+    _raw_ops.map(lambda op: [op]),
+)
+
+
+@settings(max_examples=200, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(chunks=st.lists(_idiom_chunks, min_size=1, max_size=8),
+       seed_mem=st.lists(st.integers(min_value=-2, max_value=2).map(float),
+                         min_size=10, max_size=10),
+       budget=st.integers(min_value=1, max_value=400))
+def test_peephole_matches_reference_transcript(chunks, seed_mem, budget):
+    """Peephole-fused, plain-threaded and seed-reference execution agree
+    instruction for instruction -- final state, memory image, error
+    string -- at *every* step budget, including budgets that would land
+    mid-superinstruction (the precise-mode fallback)."""
+    ops = [op for chunk in chunks for op in chunk]
+    program = _build_program(ops)
+
+    def run(vm, memory):
+        try:
+            state = vm.execute(program, memory)
+            return json.dumps({"state": state.snapshot(), "memory": memory},
+                              sort_keys=True)
+        except VmError as exc:
+            return json.dumps({"error": str(exc), "memory": memory},
+                              sort_keys=True)
+
+    expected = run(_ReferenceVm(max_steps=budget), list(seed_mem))
+    fused = run(Interpreter(max_steps=budget), list(seed_mem))
+    plain = run(Interpreter(max_steps=budget, peephole=False),
+                list(seed_mem))
+    assert fused == expected
+    assert plain == expected
+
+
+@settings(max_examples=100, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(chunks=st.lists(_idiom_chunks, min_size=1, max_size=8),
+       seed_mem=st.lists(st.integers(min_value=-2, max_value=2).map(float),
+                         min_size=10, max_size=10))
+def test_peephole_preserves_observable_effects(chunks, seed_mem):
+    """The OUT-channel effect transcript (every value written, in order)
+    is identical with and without the peephole pass."""
+    ops = [op for chunk in chunks for op in chunk]
+    # Splice OUT instructions between chunks so effects interleave with
+    # fusion sites; channel 0 resolves through the root program's table.
+    spliced = []
+    for i, op in enumerate(ops):
+        spliced.append(op)
+        if i % 3 == 2:
+            spliced.append((Opcode.OUT, 0))
+    program_ops = spliced
+    instructions = []
+    n = len(program_ops)
+    for op, arg in program_ops:
+        if op in (Opcode.JMP, Opcode.JZ, Opcode.CALL):
+            arg = int(arg) % (n + 2)
+        instructions.append(Instruction(op, arg))
+    program = Program("fuzz-out", instructions=tuple(instructions),
+                      channels=("tap",))
+
+    def run(peephole: bool):
+        outputs: list[float] = []
+        interp = Interpreter(max_steps=400, peephole=peephole)
+        interp.bind_output("tap", outputs.append)
+        memory = list(seed_mem)
+        try:
+            state = interp.execute(program, memory)
+            return json.dumps({"state": state.snapshot(), "memory": memory,
+                               "outputs": outputs}, sort_keys=True)
+        except VmError as exc:
+            return json.dumps({"error": str(exc), "memory": memory,
+                               "outputs": outputs}, sort_keys=True)
+
+    assert run(True) == run(False)
 
 
 class TestSeedEdgeSemantics:

@@ -201,3 +201,94 @@ class TestMedium:
         stranger = FireFlyNode(engine, "zz", with_sensors=False)
         with pytest.raises(KeyError):
             h.medium.attach(stranger)
+
+
+class TestTraceFlag:
+    def test_trace_attached_after_construction_records(self, engine):
+        from repro.sim.trace import Trace
+
+        h = _Harness(engine, ["a", "b"])
+        h.medium.trace = Trace()  # post-construction attach must take
+        assert h.medium.trace_enabled
+        h.medium.port("b").listen()
+        h.medium.port("a").transmit(
+            Packet(src="a", dst="b", kind="x", size_bytes=16))
+        engine.run()
+        categories = [event.category for event in h.medium.trace._events]
+        assert "medium.tx" in categories and "medium.rx" in categories
+
+    def test_trace_detached_disables_recording(self, engine):
+        from repro.sim.trace import Trace
+
+        h = _Harness(engine, ["a", "b"])
+        h.medium.trace = Trace()
+        h.medium.trace = None
+        assert not h.medium.trace_enabled
+        h.medium.port("b").listen()
+        h.medium.port("a").transmit(
+            Packet(src="a", dst="b", kind="x", size_bytes=16))
+        engine.run()  # must not AttributeError on a stale flag
+        assert h.medium.stats.frames_delivered == 1
+
+
+class TestMediumIndexes:
+    """Topology-version hygiene of the cached medium indexes."""
+
+    def _flood(self, engine, h, node_ids, seq0=0):
+        for i, nid in enumerate(node_ids):
+            h.medium.port(nid).listen()
+            engine.schedule(i * 3 * MS, h.medium.port(nid).transmit,
+                            Packet(src=nid, dst=BROADCAST, kind="x",
+                                   size_bytes=16, seq=seq0 + i))
+        engine.run()
+
+    def test_caches_stay_bounded_across_version_bumps(self, engine):
+        """Repeated topology mutations must not accrete stale cache keys
+        (the receiver rows subsume the old per-pair distance cache, and
+        every rebuild clears all of it)."""
+        h = _Harness(engine, ["a", "b", "c", "d"])
+        sizes = []
+        for round_no in range(5):
+            self._flood(engine, h, ["a", "b", "c", "d"], seq0=round_no * 10)
+            # Structural mutation: drop and restore one link.
+            h.topology.remove_link("a", "b")
+            h.topology.add_link("a", "b")
+            sizes.append(len(h.medium._receiver_rows)
+                         + len(h.medium._neighbor_tuples)
+                         + len(h.medium._audible_sets))
+        assert max(sizes) <= 3 * 4  # bounded by the live topology, not time
+        h.medium._check_indexes()  # fold in the last (unconsumed) bump
+        assert h.medium.check_indexes_consistent()
+
+    def test_indexes_consistent_after_traffic_and_rebuild(self, engine):
+        h = _Harness(engine, ["a", "b", "c"])
+        self._flood(engine, h, ["a", "b", "c"])
+        assert h.medium.check_indexes_consistent()
+        h.topology.remove_link("a", "c")
+        # Next medium activity rebuilds against the new version.
+        h.medium.port("a").transmit(
+            Packet(src="a", dst=BROADCAST, kind="x", size_bytes=16, seq=99))
+        engine.run()
+        assert h.medium.check_indexes_consistent()
+        assert h.medium._topo_version == h.topology.version
+
+    def test_attach_after_traffic_invalidates_receiver_rows(self, engine):
+        """A node attached after frames already flowed must be resolved as
+        a receiver on the very next completion."""
+        h = _Harness(engine, ["a", "b", "c"])
+        del h.nodes["c"], h.medium._ports["c"]  # start with c unattached
+        h.medium._receiver_rows.clear()
+        h.medium.port("b").listen()
+        h.medium.port("a").transmit(
+            Packet(src="a", dst=BROADCAST, kind="x", size_bytes=16, seq=1))
+        engine.run()
+        assert ("b", 1) in h.received
+        late = FireFlyNode(engine, "c", with_sensors=False)
+        port = h.medium.attach(late)
+        port.set_receive_callback(lambda pkt: h.received.append(("c", pkt.seq)))
+        port.listen()
+        h.medium.port("a").transmit(
+            Packet(src="a", dst=BROADCAST, kind="x", size_bytes=16, seq=2))
+        engine.run()
+        assert ("c", 2) in h.received
+        assert h.medium.check_indexes_consistent()

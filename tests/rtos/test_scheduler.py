@@ -222,6 +222,37 @@ class TestTaskManagement:
         engine.run_until(100 * MS)
         assert tcb.jobs_released == 3
 
+    def test_restart_rephases_from_reboot_not_precrash_chain(self, engine):
+        """A pre-crash release event stranded in the heap must never
+        hijack the restarted chain: releases after restart() run at
+        reboot-time + offset + k*period, not on the old phase."""
+        releases = []
+        sched = make(engine)
+        tcb = Tcb(TaskSpec("t", wcet_ticks=1 * MS, period_ticks=200 * MS,
+                           offset_ticks=100 * MS),
+                  body=lambda t: releases.append(engine.now))
+        sched.add_task(tcb)
+        engine.run_until(50 * MS)
+        sched.halt()      # strands the release due at t=100ms in the heap
+        engine.run_until(60 * MS)
+        sched.restart()   # chain restarts from now: 160, 360, 560 ...
+        engine.run_until(600 * MS)
+        assert releases == [161 * MS, 361 * MS, 561 * MS]  # +1ms wcet
+
+    def test_remove_then_readd_ignores_stranded_chain(self, engine):
+        sched = make(engine)
+        tcb = Tcb(TaskSpec("t", wcet_ticks=1 * MS, period_ticks=10 * MS,
+                           offset_ticks=8 * MS))
+        sched.add_task(tcb)
+        engine.run_until(5 * MS)
+        sched.remove_task("t")  # strands the release due at t=8ms
+        fresh = Tcb(TaskSpec("t", wcet_ticks=1 * MS, period_ticks=10 * MS,
+                             offset_ticks=2 * MS))
+        sched.add_task(fresh)   # new chain: releases at 7, 17, 27 ms
+        engine.run_until(30 * MS)
+        assert fresh.jobs_released == 3
+        assert tcb.jobs_released == 0
+
     def test_utilization_now(self, engine):
         sched = make(engine)
         sched.add_task(Tcb(TaskSpec("a", wcet_ticks=2 * MS,

@@ -110,6 +110,102 @@ def test_reused_results_dir_drops_stale_records(grid, tmp_path):
     assert ResultsStore(tmp_path).load_summary()["total_runs"] == 1
 
 
+def test_failed_campaign_preserves_previous_store(grid, tmp_path,
+                                                  monkeypatch):
+    """A campaign that dies mid-grid must leave the previously persisted
+    campaign (runs + summary) fully intact: streamed records go through
+    the staging area and only commit on success."""
+    import repro.scenarios.runner as runner_mod
+
+    first = CampaignRunner(results_dir=str(tmp_path), parallel=False)
+    first.run(grid[:2])
+    before_runs = json.dumps(ResultsStore(tmp_path).load_runs(),
+                             sort_keys=True)
+    before_summary = ResultsStore(tmp_path).load_summary()
+
+    real = runner_mod._run_record
+    calls = {"n": 0}
+
+    def flaky(job):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise RuntimeError("worker died")
+        return real(job)
+
+    monkeypatch.setattr(runner_mod, "_run_record", flaky)
+    with pytest.raises(RuntimeError):
+        CampaignRunner(results_dir=str(tmp_path), parallel=False) \
+            .run(grid[:3])
+    store = ResultsStore(tmp_path)
+    assert json.dumps(store.load_runs(), sort_keys=True) == before_runs
+    assert store.load_summary() == before_summary
+    assert store.discard_staged() == 0  # failure already cleaned staging
+
+
+def test_interrupted_commit_swap_recovers_on_open(grid, tmp_path):
+    """Crash between the commit's two renames: reopening the store rolls
+    the parked campaign back (or finishes the swap) — never a mix."""
+    CampaignRunner(results_dir=str(tmp_path), parallel=False).run(grid[:2])
+    intact = json.dumps(ResultsStore(tmp_path).load_runs(), sort_keys=True)
+    # Simulate a crash right after runs/ was parked as runs.old/.
+    (tmp_path / "runs").rename(tmp_path / "runs.old")
+    store = ResultsStore(tmp_path)  # rolls back
+    assert json.dumps(store.load_runs(), sort_keys=True) == intact
+    # Simulate a crash after the swap finished but before cleanup.
+    (tmp_path / "runs.old").mkdir()
+    (tmp_path / "runs.old" / "zz_stale.json").write_text("{}")
+    store = ResultsStore(tmp_path)  # finishes cleanup
+    assert not (tmp_path / "runs.old").exists()
+    assert json.dumps(store.load_runs(), sort_keys=True) == intact
+
+
+def test_abandoned_runner_reaps_pool_on_gc(grid):
+    """Dropping a runner without close() must not leak worker processes:
+    the finalizer shuts the pool down at collection time."""
+    import gc
+
+    runner = CampaignRunner(max_workers=2)
+    runner.run(grid[:1])
+    pool = runner._pool
+    finalizer = runner._pool_finalizer
+    assert pool is not None and finalizer.alive
+    del runner
+    gc.collect()
+    assert not finalizer.alive           # finalizer ran
+    assert pool._shutdown_thread         # executor was shut down
+    # close() after use detaches the finalizer instead of double-closing.
+    with CampaignRunner(max_workers=2) as closed:
+        closed.run(grid[:1])
+        finalizer = closed._pool_finalizer
+    assert finalizer is not None and not finalizer.alive
+
+
+def _kill_worker(job):  # module-level: must pickle across the pool
+    import os
+
+    os._exit(1)
+
+
+def test_broken_pool_respawns_on_next_run(grid, monkeypatch):
+    """An abnormal worker death breaks the executor; the next run() must
+    respawn the pool instead of staying poisoned forever."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    import repro.scenarios.runner as runner_mod
+
+    with CampaignRunner(max_workers=2) as runner:
+        # Every job kills its worker process outright (not an ordinary
+        # exception), which permanently breaks the executor.
+        monkeypatch.setattr(runner_mod, "_run_record", _kill_worker)
+        with pytest.raises(BrokenProcessPool):
+            runner.run(grid[:2])
+        broken = runner._pool
+        monkeypatch.undo()
+        result = runner.run(grid[:1])  # respawns and recovers
+        assert runner._pool is not broken
+        assert len(result.records) == 1
+
+
 def test_serial_and_parallel_agree(grid):
     """The pool fan-out must not perturb results: byte-identical records
     either way."""

@@ -180,3 +180,130 @@ class TestKill:
         Process(engine, worker())
         with pytest.raises(SimulationError):
             engine.run()
+
+
+class TestBadYieldCleanup:
+    """An unsupported yield must tear the process down fully *before* the
+    error propagates: generator closed (finally blocks run), no stale
+    signal waiter left behind, process dead for good."""
+
+    def test_bad_yield_closes_generator(self, engine):
+        cleaned = []
+
+        def worker():
+            try:
+                yield Delay(10)
+                yield object()
+            finally:
+                cleaned.append(True)
+
+        proc = Process(engine, worker())
+        with pytest.raises(SimulationError):
+            engine.run()
+        assert cleaned == [True]
+        assert not proc.alive
+
+    def test_bad_yield_after_signal_leaves_no_waiter(self, engine):
+        sig = Signal("evt")
+
+        def worker():
+            yield WaitSignal(sig)
+            yield "garbage"
+
+        proc = Process(engine, worker())
+        engine.schedule(5, sig.fire, "go")
+        with pytest.raises(SimulationError):
+            engine.run()
+        assert sig.waiter_count == 0
+        assert not proc.alive
+        # A later firing must not resurrect the dead process.
+        sig.fire("again")
+        engine.run()
+        assert not proc.alive
+
+    def test_process_survivors_unaffected(self, engine):
+        """The failing process dies; an unrelated one can keep running."""
+        ticks = []
+
+        def bad():
+            yield 3.14
+
+        def good():
+            for _ in range(3):
+                yield Delay(10)
+                ticks.append(engine.now)
+
+        Process(engine, good())
+        Process(engine, bad())
+        with pytest.raises(SimulationError):
+            engine.run()
+        engine.run()  # drain the survivor past the poisoned dispatch
+        assert len(ticks) >= 1
+
+
+class TestGenerationGuard:
+    """The resume-token fast path: stale resumes are inert no-ops."""
+
+    def test_kill_mid_delay_leaves_stale_event_inert(self, engine):
+        progress = []
+
+        def worker():
+            while True:
+                yield Delay(10)
+                progress.append(engine.now)
+
+        proc = Process(engine, worker())
+        engine.schedule(25, proc.kill)
+        dispatched = engine.run()
+        assert progress == [10, 20]
+        assert not proc.alive
+        # The stale resume dispatched as a no-op instead of resuming.
+        assert dispatched >= 4
+
+    def test_reused_delay_instance(self, engine):
+        """A single Delay object re-yielded every lap (the benchmark and
+        several MAC loops do this) arms a fresh generation each time."""
+        laps = []
+        wait = Delay(7)
+
+        def worker():
+            for _ in range(5):
+                yield wait
+                laps.append(engine.now)
+
+        Process(engine, worker())
+        engine.run()
+        assert laps == [7, 14, 21, 28, 35]
+
+    def test_timeout_then_signal_single_resume(self, engine):
+        sig = Signal()
+        got = []
+
+        def worker():
+            got.append((yield WaitSignal(sig, timeout=50)))
+            got.append((yield Delay(100)) or "delayed")
+
+        Process(engine, worker())
+        engine.schedule(60, sig.fire, "late")  # after the timeout won
+        engine.run()
+        assert got == [TIMEOUT, "delayed"]
+
+    def test_kill_between_signal_and_resume(self, engine):
+        """Signal fires (resume posted), then the process is killed in the
+        same tick before the resume dispatches: the resume must be stale."""
+        sig = Signal()
+        resumed = []
+
+        def worker():
+            resumed.append((yield WaitSignal(sig)))
+
+        proc = Process(engine, worker())
+
+        def fire_then_kill():
+            sig.fire("payload")   # posts the resume for this tick
+            proc.kill()           # bumps the generation first
+
+        engine.schedule(10, fire_then_kill)
+        engine.run()
+        assert resumed == []
+        assert not proc.alive
