@@ -8,6 +8,11 @@ meter's ``optimized`` rate regresses more than the tolerance versus the
 trajectory may wobble (snapshots are wall-clock and host-dependent) but
 must not silently fall off a cliff between PRs.
 
+Two meter shapes share the snapshots: ``*_per_sec`` rates (higher is
+better; a regression is a drop below ``prior * (1 - tolerance)``) and
+``*_sec`` durations such as ``widegrid_trial_sec`` (lower is better; a
+regression is a rise above ``prior * (1 + tolerance)``).
+
 Meters that first appear in a snapshot have no prior to compare against
 and are reported as new.  Exit status: 0 = trend holds, 1 = regression.
 
@@ -24,6 +29,8 @@ import json
 import re
 import sys
 from pathlib import Path
+
+from meters import is_duration_meter
 
 DEFAULT_TOLERANCE = 0.20
 
@@ -52,7 +59,16 @@ def check_trend(snapshots: list[tuple[int, dict]],
             prior = latest_by_meter.get(meter)
             if prior is not None:
                 prior_number, prior_rate = prior
-                if prior_rate > 0 and rate < prior_rate * (1.0 - tolerance):
+                if prior_rate > 0 and is_duration_meter(meter) \
+                        and rate > prior_rate * (1.0 + tolerance):
+                    failures.append(
+                        f"{meter}: BENCH_{number} optimized "
+                        f"{rate:,.3f} s is "
+                        f"{(rate / prior_rate - 1.0) * 100.0:.0f}% above "
+                        f"BENCH_{prior_number} ({prior_rate:,.3f} s); "
+                        f"tolerance is {tolerance * 100.0:.0f}%")
+                elif prior_rate > 0 and not is_duration_meter(meter) \
+                        and rate < prior_rate * (1.0 - tolerance):
                     failures.append(
                         f"{meter}: BENCH_{number} optimized "
                         f"{rate:,.1f}/s is "
@@ -85,7 +101,8 @@ def main(argv: list[str] | None = None) -> int:
     for number, snapshot in snapshots:
         for meter, rate in sorted(snapshot.get("optimized", {}).items()):
             tag = "" if meter in seen else "  [new]"
-            print(f"  BENCH_{number} {meter:<28} {rate:>14,.1f}/s{tag}")
+            unit = " s " if is_duration_meter(meter) else "/s"
+            print(f"  BENCH_{number} {meter:<28} {rate:>14,.1f}{unit}{tag}")
             seen.add(meter)
     if failures:
         print("bench-trend: REGRESSION")

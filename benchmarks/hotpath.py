@@ -1,19 +1,25 @@
 """Hot-path microbenchmarks: events/sec, VM instructions/sec, frames/sec,
-process resumes/sec and campaign runs/sec.
+process resumes/sec, campaign runs/sec, plant steps/sec, traced
+events/sec and the wide-grid trial wall-clock.
 
 Standalone driver (not a pytest module) that measures the inner loops
 every experiment burns time in -- ``Engine`` event dispatch,
 ``Interpreter`` bytecode execution, ``Medium`` frame resolution, the
-``Process`` generator resume path and ``CampaignRunner`` sweep
-throughput -- and records the rates into a ``BENCH_*.json`` snapshot so
-the perf trajectory of the repo is tracked across PRs::
+``Process`` generator resume path, ``CampaignRunner`` sweep throughput,
+the ``NaturalGasPlant`` step, ``Trace.record`` and one full 100-node
+wide-grid failover trial -- and records them into a ``BENCH_*.json``
+snapshot so the perf trajectory of the repo is tracked across PRs::
 
     PYTHONPATH=src python benchmarks/hotpath.py --label baseline
     PYTHONPATH=src python benchmarks/hotpath.py --label optimized
 
 Each invocation merges its numbers under the given label into the
-snapshot file (default ``BENCH_3.json`` at the repo root) and, when both
+snapshot file (default ``BENCH_4.json`` at the repo root) and, when both
 ``baseline`` and ``optimized`` are present, computes the speedup table.
+
+Meter naming convention (``bench_trend.py`` relies on it): ``*_per_sec``
+meters are rates where higher is better; ``*_sec`` meters are durations
+where lower is better (speedup = baseline / optimized).
 
 The workloads are deterministic; rates are wall-clock and therefore
 machine-dependent, which is why the snapshot stores both sides of the
@@ -28,6 +34,8 @@ import platform
 import random
 import time
 from pathlib import Path
+
+from meters import is_duration_meter
 
 from repro.evm.bytecode import Assembler
 from repro.evm.interpreter import Interpreter
@@ -49,6 +57,11 @@ def _best_rate(measure, reps: int = REPS) -> float:
         if elapsed > 0.0:
             best = max(best, units / elapsed)
     return best
+
+
+def _best_seconds(measure, reps: int = REPS) -> float:
+    """Run ``measure()`` -> seconds ``reps`` times, best (lowest) time."""
+    return min(measure() for _ in range(reps))
 
 
 # ----------------------------------------------------------------------
@@ -242,6 +255,79 @@ def bench_campaign_runs(n_scenarios: int = 6, reps: int = 3) -> float:
 
 
 # ----------------------------------------------------------------------
+# Plant: the natural-gas flowsheet step (HIL inner loop)
+# ----------------------------------------------------------------------
+def bench_plant_steps(n_steps: int = 3_000) -> float:
+    """Full plant advance under local control -- the exact work every
+    ``HilBridge`` tick and every ``settle()`` iteration performs."""
+    from repro.plant.gas_plant import NaturalGasPlant
+
+    plant = NaturalGasPlant()
+    plant.enable_local_control()
+
+    def measure():
+        start = time.perf_counter()
+        for _ in range(n_steps):
+            plant.step(0.5)
+        elapsed = time.perf_counter() - start
+        return n_steps, elapsed
+
+    return _best_rate(measure)
+
+
+# ----------------------------------------------------------------------
+# Trace: structured event recording (dominates traced runs)
+# ----------------------------------------------------------------------
+def bench_traced_events(n_events: int = 120_000) -> float:
+    """``Trace.record`` at the mix the stack emits -- dense mac/medium
+    rows with sparse evm events on top -- then the consumer pattern the
+    metrics collectors use: count the hot categories, materialize the
+    sparse one.  A lazily-backed trace must pay any deferred cost inside
+    the meter."""
+    from repro.sim.trace import Trace
+
+    def measure():
+        trace = Trace()
+        start = time.perf_counter()
+        for i in range(n_events):
+            trace.record(i * 7, "mac.tx", "n1", dst="n2", seq=i)
+            trace.record(i * 7 + 3, "medium.rx", "n2", src="n1")
+            if i % 100 == 0:
+                trace.record(i * 7 + 5, "evm.heartbeat", "ctrl_a", seq=i)
+        recorded = 2 * n_events + n_events // 100
+        assert trace.count("mac.tx") == n_events
+        sparse = trace.events("evm")
+        assert trace.last("medium.rx") is not None
+        elapsed = time.perf_counter() - start
+        assert len(sparse) == n_events // 100
+        return recorded, elapsed
+
+    return _best_rate(measure)
+
+
+# ----------------------------------------------------------------------
+# Wide grid: one full 100-node failover trial (wall-clock, lower=better)
+# ----------------------------------------------------------------------
+def bench_widegrid_trial(reps: int = 2) -> float:
+    """A complete fig6-style 100-node random-geometric failover trial:
+    build, run 20 simulated seconds with a mid-run primary crash,
+    collect.  Recorded in *seconds* (a ``*_sec`` duration meter)."""
+    from repro.experiments.widegrid import WideGridConfig, run_widegrid_trial
+
+    config = WideGridConfig(n_nodes=100, seed=1, duration_sec=20.0,
+                            crash_primary_at_sec=8.0)
+
+    def measure() -> float:
+        start = time.perf_counter()
+        result = run_widegrid_trial(config)
+        elapsed = time.perf_counter() - start
+        assert result.failovers_executed >= 1
+        return elapsed
+
+    return _best_seconds(measure, reps=reps)
+
+
+# ----------------------------------------------------------------------
 # Snapshot plumbing
 # ----------------------------------------------------------------------
 METRICS = {
@@ -251,15 +337,22 @@ METRICS = {
     "frames_per_sec": bench_medium_frames,
     "carrier_sense_per_sec": bench_carrier_sense,
     "campaign_runs_per_sec": bench_campaign_runs,
+    "plant_steps_per_sec": bench_plant_steps,
+    "traced_events_per_sec": bench_traced_events,
+    "widegrid_trial_sec": bench_widegrid_trial,
 }
 
 
 def run_all() -> dict[str, float]:
     results = {}
     for name, fn in METRICS.items():
-        rate = fn()
-        results[name] = round(rate, 1)
-        print(f"  {name:<28} {rate:>14,.0f}")
+        value = fn()
+        if is_duration_meter(name):
+            results[name] = round(value, 3)
+            print(f"  {name:<28} {value:>14,.3f} s")
+        else:
+            results[name] = round(value, 1)
+            print(f"  {name:<28} {value:>14,.0f}")
     return results
 
 
@@ -269,17 +362,19 @@ def main() -> None:
                         choices=("baseline", "optimized"),
                         help="which side of the comparison this run records")
     parser.add_argument("--out", default=None,
-                        help="snapshot path (default: <repo>/BENCH_3.json)")
+                        help="snapshot path (default: <repo>/BENCH_4.json)")
     args = parser.parse_args()
 
     out = Path(args.out) if args.out else \
-        Path(__file__).resolve().parent.parent / "BENCH_3.json"
+        Path(__file__).resolve().parent.parent / "BENCH_4.json"
     snapshot = json.loads(out.read_text()) if out.exists() else {
-        "bench": 3,
+        "bench": 4,
         "description": ("Hot-path microbenchmark snapshot: Engine event "
                         "dispatch, Process resumes, EVM interpretation, "
                         "Medium frame resolution, campaign sweep "
-                        "throughput (benchmarks/hotpath.py)"),
+                        "throughput, plant stepping, trace recording and "
+                        "the 100-node wide-grid trial "
+                        "(benchmarks/hotpath.py)"),
     }
     snapshot["host"] = {
         "python": platform.python_version(),
@@ -292,10 +387,16 @@ def main() -> None:
     snapshot[args.label] = run_all()
 
     if "baseline" in snapshot and "optimized" in snapshot:
+        # Rates improve upward (optimized/baseline); durations improve
+        # downward (baseline/optimized) -- either way >1.0 means faster.
         snapshot["speedup"] = {
-            key: round(snapshot["optimized"][key] / snapshot["baseline"][key], 2)
+            key: round((snapshot["baseline"][key] / snapshot["optimized"][key])
+                       if is_duration_meter(key)
+                       else (snapshot["optimized"][key]
+                             / snapshot["baseline"][key]), 2)
             for key in snapshot["baseline"]
-            if snapshot["baseline"].get(key) and key in snapshot["optimized"]
+            if snapshot["baseline"].get(key)
+            and snapshot["optimized"].get(key)
         }
         print("speedup vs baseline:")
         for key, ratio in snapshot["speedup"].items():

@@ -1,0 +1,17 @@
+"""The meter-direction convention shared by the snapshot driver and the
+trend gate.
+
+``*_per_sec`` meters are rates (higher is better); bare ``*_sec`` meters
+such as ``widegrid_trial_sec`` are durations (lower is better).  Both
+``hotpath.py`` (speedup tables) and ``bench_trend.py`` (the regression
+rule) import this single predicate, so a new meter shape only ever needs
+to be taught here.  Deliberately dependency-free: the trend gate runs
+without ``src`` on the import path.
+"""
+
+from __future__ import annotations
+
+
+def is_duration_meter(name: str) -> bool:
+    """Duration meters (``*_sec``) improve downward; rates upward."""
+    return name.endswith("_sec") and not name.endswith("_per_sec")

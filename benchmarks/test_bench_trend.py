@@ -48,6 +48,32 @@ def test_new_meter_has_no_prior():
     assert check_trend(snapshots) == []
 
 
+def test_duration_meter_regression_is_a_rise():
+    # *_sec meters (wide-grid trial wall-clock) improve downward.
+    snapshots = [(1, {"optimized": {"trial_sec": 1.0}}),
+                 (2, {"optimized": {"trial_sec": 1.15}})]  # +15% < 20%
+    assert check_trend(snapshots, tolerance=0.20) == []
+    snapshots.append((3, {"optimized": {"trial_sec": 1.45}}))  # +26%
+    failures = check_trend(snapshots, tolerance=0.20)
+    assert len(failures) == 1 and "trial_sec" in failures[0]
+    assert "above" in failures[0]
+
+
+def test_duration_meter_improvement_never_fails():
+    snapshots = [(1, {"optimized": {"trial_sec": 2.0}}),
+                 (2, {"optimized": {"trial_sec": 0.5}})]  # 4x faster
+    assert check_trend(snapshots, tolerance=0.20) == []
+
+
+def test_per_sec_suffix_is_a_rate_not_a_duration():
+    # events_per_sec ends in _sec lexically; it must use the rate rule.
+    snapshots = [(1, {"optimized": {"events_per_sec": 100.0}}),
+                 (2, {"optimized": {"events_per_sec": 130.0}})]  # faster
+    assert check_trend(snapshots, tolerance=0.20) == []
+    snapshots.append((3, {"optimized": {"events_per_sec": 90.0}}))  # -31%
+    assert len(check_trend(snapshots, tolerance=0.20)) == 1
+
+
 def test_main_ok_and_regression_exit_codes(tmp_path, capsys):
     _write(tmp_path, 1, {"m": 100.0})
     _write(tmp_path, 2, {"m": 95.0})

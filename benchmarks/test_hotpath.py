@@ -185,3 +185,59 @@ def test_carrier_sense_is_o1(benchmark):
             port.channel_busy()
 
     benchmark.pedantic(probe_cost, args=(64,), rounds=3, iterations=1)
+
+
+def test_plant_step_throughput(benchmark):
+    """The compiled plant step sweep stays functional: levels move under
+    local control and every unit advances every step."""
+    from repro.plant.gas_plant import NaturalGasPlant
+
+    plant = NaturalGasPlant()
+    plant.enable_local_control()
+
+    def drive() -> float:
+        for _ in range(200):
+            plant.step(0.5)
+        return plant.flowsheet.read("lts_level_pct")
+
+    level = benchmark.pedantic(drive, rounds=1, iterations=1)
+    assert 0.0 < level < 100.0
+    assert plant.flowsheet.steps == 200
+
+
+def test_trace_record_and_views(benchmark):
+    """The lazily-materialized trace keeps its view contract under the
+    bench workload shape."""
+    from repro.sim.trace import Trace
+
+    def drive():
+        trace = Trace()
+        for i in range(5_000):
+            trace.record(i * 7, "mac.tx", "n1", seq=i)
+            trace.record(i * 7 + 3, "medium.rx", "n2", src="n1")
+            if i % 100 == 0:
+                trace.record(i * 7 + 5, "evm.heartbeat", "ctrl_a", seq=i)
+        return trace
+
+    trace = benchmark.pedantic(drive, rounds=1, iterations=1)
+    assert trace.count("mac.tx") == 5_000
+    assert len(trace.events("evm")) == 50
+    assert trace.last("medium.rx").data["src"] == "n1"
+
+
+def test_widegrid_trial_smoke(benchmark):
+    """A reduced wide-grid failover trial end to end (the BENCH_4 meter
+    runs 100 nodes; 48 keeps the smoke cheap)."""
+    from repro.experiments.widegrid import WideGridConfig, run_widegrid_trial
+
+    config = WideGridConfig(n_nodes=48, area_m=110.0, radio_range_m=28.0,
+                            seed=1, duration_sec=15.0,
+                            crash_primary_at_sec=5.0)
+
+    def drive():
+        return run_widegrid_trial(config)
+
+    result = benchmark.pedantic(drive, rounds=1, iterations=1)
+    assert result.failovers_executed >= 1
+    assert result.active_controller_final == result.roles["ctrl_b"]
+    assert result.reports_delivered > 0

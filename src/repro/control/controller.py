@@ -83,7 +83,14 @@ class ControlLawConfig:
 
 
 class FilteredPidController:
-    """Reference implementation over the same memory slots as the bytecode."""
+    """Reference implementation over the same memory slots as the bytecode.
+
+    The law's constants are snapshotted into a flat tuple at construction
+    (the per-step dataclass attribute loads dominated the plant's
+    regulator sweep); retuning means building a new controller, exactly
+    as a retuned bytecode law means compiling a new program -- mutating
+    ``config`` after construction does not reach ``step``.
+    """
 
     def __init__(self, config: ControlLawConfig,
                  memory: list[float] | None = None) -> None:
@@ -93,25 +100,33 @@ class FilteredPidController:
             memory = [0.0] * MEMORY_SLOTS
             memory[SLOT_SETPOINT] = config.setpoint
         self.memory = memory
+        # Constants the per-period law reads, flattened into one tuple:
+        # step() runs for every loop on every plant step and the dataclass
+        # attribute loads dominated it.
+        c = self.coefficients
+        self._consts = (c.b0, c.b1, c.b2, c.a1, c.a2, config.dt_sec,
+                        config.integral_min, config.integral_max,
+                        config.kp, config.ki, config.kd,
+                        config.out_min, config.out_max)
 
     def step(self, measurement: float) -> float:
         """One control period; mirrors the bytecode instruction-for-instruction."""
-        cfg = self.config
-        c = self.coefficients
+        (b0, b1, b2, a1, a2, dt_sec, integral_min, integral_max,
+         kp, ki, kd, out_min, out_max) = self._consts
         mem = self.memory
         mem[SLOT_INPUT] = measurement
         x = mem[SLOT_INPUT]
-        y = c.b0 * x + mem[SLOT_FILTER_Z1]
+        y = b0 * x + mem[SLOT_FILTER_Z1]
         mem[SLOT_FILTERED] = y
-        mem[SLOT_FILTER_Z1] = c.b1 * x - c.a1 * y + mem[SLOT_FILTER_Z2]
-        mem[SLOT_FILTER_Z2] = c.b2 * x - c.a2 * y
+        mem[SLOT_FILTER_Z1] = b1 * x - a1 * y + mem[SLOT_FILTER_Z2]
+        mem[SLOT_FILTER_Z2] = b2 * x - a2 * y
         error = mem[SLOT_SETPOINT] - y
-        integral = mem[SLOT_INTEGRAL] + error * cfg.dt_sec
-        integral = max(cfg.integral_min, min(cfg.integral_max, integral))
+        integral = mem[SLOT_INTEGRAL] + error * dt_sec
+        integral = max(integral_min, min(integral_max, integral))
         mem[SLOT_INTEGRAL] = integral
-        derivative = (error - mem[SLOT_PREV_ERROR]) / cfg.dt_sec
-        output = (cfg.kd * derivative + cfg.kp * error + cfg.ki * integral)
-        output = max(cfg.out_min, min(cfg.out_max, output))
+        derivative = (error - mem[SLOT_PREV_ERROR]) / dt_sec
+        output = (kd * derivative + kp * error + ki * integral)
+        output = max(out_min, min(out_max, output))
         mem[SLOT_OUTPUT] = output
         mem[SLOT_PREV_ERROR] = error
         return output

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.experiments.metrics import project_node_energy
 from repro.hardware.node import FireFlyNode
 from repro.hardware.timesync import AmTimeSync, TimeSyncSpec
 from repro.net.mac.base import MacProtocol
@@ -29,7 +30,6 @@ from repro.sim.clock import MS, SEC
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 
-MCU_SLEEP_CURRENT_A = 10e-6
 PAYLOAD_BYTES = 24
 
 
@@ -99,12 +99,11 @@ def run_mac_trial(protocol: str, duty_pct: float = 5.0,
     currents = []
     duties = []
     for member in node_ids[1:]:
-        node = nodes[member]
-        node.battery.draw(MCU_SLEEP_CURRENT_A, engine.now)
-        node.radio._settle()
-        currents.append(node.battery.average_current_a() * 1e3)
-        lifetimes.append(node.battery.projected_lifetime_years())
-        duties.append(node.radio.duty_cycle() * 100.0)
+        current_ma, lifetime, duty = project_node_energy(
+            nodes[member], engine.now)
+        currents.append(current_ma)
+        lifetimes.append(lifetime)
+        duties.append(duty)
     delivered = len(received)
     sent = max(1, sent_counter["n"])
     return MacTrialResult(

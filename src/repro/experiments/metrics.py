@@ -1,8 +1,29 @@
-"""Series and latency utilities shared by benches and tests."""
+"""Series, latency and energy utilities shared by benches and tests."""
 
 from __future__ import annotations
 
 from repro.sim.clock import MS
+
+MCU_SLEEP_CURRENT_A = 10e-6
+"""Deep-sleep MCU floor added when projecting member-node lifetimes."""
+
+
+def project_node_energy(node, now_ticks: int,
+                        mcu_sleep_current_a: float = MCU_SLEEP_CURRENT_A,
+                        ) -> tuple[float, float, float]:
+    """Finalize one node's energy accounting at the end of a trial.
+
+    Applies the deep-sleep MCU draw up to ``now_ticks``, settles the
+    radio's state accounting, and returns ``(avg_current_ma,
+    lifetime_years, radio_duty_pct)`` -- the projection every MAC
+    lifetime study (claim C2) reports.  One implementation so the
+    six-node comparison and the wide-grid studies can never diverge.
+    """
+    node.battery.draw(mcu_sleep_current_a, now_ticks)
+    node.radio._settle()
+    return (node.battery.average_current_a() * 1e3,
+            node.battery.projected_lifetime_years(),
+            node.radio.duty_cycle() * 100.0)
 
 
 def mean(values: list[float]) -> float:

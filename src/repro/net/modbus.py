@@ -129,6 +129,23 @@ class ModbusSerialLink:
 
         self.engine.post(self.transaction_ticks, finish)
 
+    def write_many_async(self, items: list[tuple[int, float]]) -> None:
+        """Apply a batch of writes after one transaction delay.
+
+        The whole batch rides a single engine event (the HIL bridge
+        publishes every sensor PV each plant step; per-write closures
+        dominated that path) but still counts one transaction per
+        register, and the writes apply in list order -- exactly the
+        outcome of ``write_async`` per item.
+        """
+        self.transactions += len(items)
+        self.engine.post(self.transaction_ticks, self._apply_many, items)
+
+    def _apply_many(self, items: list[tuple[int, float]]) -> None:
+        write = self.image.write
+        for address, value in items:
+            write(address, value)
+
 
 class ModbusGatewayService:
     """Radio-side request handler running on the gateway node.

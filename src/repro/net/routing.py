@@ -148,6 +148,11 @@ class RoutedMacAdapter:
             return self.mac.send(flood)
         return self.router.send(packet)
 
+    def start(self) -> None:
+        """Bring the underlying MAC (back) up -- node recovery restarts
+        the radio through whatever fronts it."""
+        self.mac.start()
+
     def stop(self) -> None:
         self.mac.stop()
 

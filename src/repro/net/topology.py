@@ -169,3 +169,33 @@ def random_geometric(n: int, area_m: float, radio_range_m: float,
                                                    rng.uniform(0, area_m)))
     topo.connect_by_range(radio_range_m)
     return topo
+
+
+def random_geometric_connected(n: int, area_m: float, radio_range_m: float,
+                               rng: random.Random, prefix: str = "n",
+                               growth: float = 1.25,
+                               ) -> tuple[Topology, float]:
+    """A connected random geometric graph, deterministically.
+
+    Positions are drawn exactly once from ``rng``; if the requested
+    ``radio_range_m`` leaves the graph disconnected, the range grows by
+    ``growth`` per round (adding links over the *same* placement) until
+    it connects -- capped at the area diagonal, where every pair is in
+    range.  No further ``rng`` draws occur, so the result, including the
+    effective range, is a pure function of the inputs.
+
+    Returns ``(topology, effective_range_m)``.
+    """
+    if growth <= 1.0:
+        raise ValueError(f"growth must exceed 1.0, got {growth}")
+    topo = random_geometric(n, area_m, radio_range_m, rng, prefix=prefix)
+    range_m = radio_range_m
+    diagonal = area_m * math.sqrt(2.0)
+    while not topo.is_connected():
+        if range_m >= diagonal:  # fully linked yet disconnected: impossible
+            raise AssertionError(
+                f"random geometric graph of {n} nodes in {area_m} m "
+                f"disconnected at full range {range_m:.1f} m")
+        range_m = min(diagonal, range_m * growth)
+        topo.connect_by_range(range_m)
+    return topo, range_m

@@ -35,6 +35,10 @@ SPECIES_INDEX: dict[str, int] = {s.formula: i for i, s in enumerate(SPECIES)}
 
 N_SPECIES = len(SPECIES)
 
+# Pure-methane fraction vector for Stream.empty() -- already normalized,
+# so the constructor's list path skips the dict decoding it used to do.
+_PURE_C1: list[float] = [1.0 if s.formula == "C1" else 0.0 for s in SPECIES]
+
 
 class Composition:
     """Mole fractions over :data:`SPECIES`, kept normalized."""
@@ -53,12 +57,44 @@ class Composition:
                 raise ValueError(
                     f"expected {N_SPECIES} fractions, got {len(fractions)}")
             values = list(fractions)
-        if any(v < 0 for v in values):
-            raise ValueError(f"negative mole fraction in {values}")
-        total = sum(values)
+        # Validation and normalization fused into one pass; this runs
+        # for every stream a plant step creates.  Accumulation order
+        # matches sum(), and division by an exactly-1.0 total is the
+        # identity in IEEE-754, so skipping it changes no bits.
+        total = 0.0
+        for v in values:
+            if v < 0:
+                raise ValueError(f"negative mole fraction in {values}")
+            total += v
         if total <= 0:
             raise ValueError("composition must have positive total")
-        self.fractions = [v / total for v in values]
+        if total == 1.0:
+            self.fractions = values
+        else:
+            self.fractions = [v / total for v in values]
+
+    @classmethod
+    def _normalized(cls, values: list[float], copy: bool = False,
+                    ) -> "Composition":
+        """Internal fast path for flow vectors the flowsheet itself
+        built (flash splits, mixed/drained flows, fraction lists being
+        copied): they are known non-negative and full-length, so the
+        isinstance/shape/sign checks drop out.  Accumulation order and
+        the divide-skip match ``__init__`` exactly, so the resulting
+        fractions are bit-identical.  With ``copy=False`` the list is
+        owned, not copied -- callers must hand over a fresh list.
+        """
+        self = object.__new__(cls)
+        total = 0.0
+        for v in values:
+            total += v
+        if total <= 0:
+            raise ValueError("composition must have positive total")
+        if total == 1.0:
+            self.fractions = list(values) if copy else values
+        else:
+            self.fractions = [v / total for v in values]
+        return self
 
     def __getitem__(self, formula: str) -> float:
         return self.fractions[SPECIES_INDEX[formula]]
@@ -96,13 +132,22 @@ class Stream:
         return [self.molar_flow * f for f in self.composition.fractions]
 
     def copy(self) -> "Stream":
-        return Stream(self.molar_flow, Composition(self.composition.fractions),
-                      self.temperature_c, self.pressure_kpa)
+        # Bypasses the dataclass __init__ (the flow was validated when
+        # this stream was built); the composition still re-normalizes
+        # exactly as a fresh construction would.
+        clone = Stream.__new__(Stream)
+        clone.molar_flow = self.molar_flow
+        clone.composition = Composition._normalized(self.composition.fractions,
+                                                    copy=True)
+        clone.temperature_c = self.temperature_c
+        clone.pressure_kpa = self.pressure_kpa
+        return clone
 
     @staticmethod
     def empty(temperature_c: float = 25.0,
               pressure_kpa: float = 101.3) -> "Stream":
-        return Stream(0.0, Composition({"C1": 1.0}), temperature_c,
+        return Stream(0.0, Composition._normalized(_PURE_C1, copy=True),
+                      temperature_c,
                       pressure_kpa)
 
     @staticmethod
@@ -111,12 +156,16 @@ class Stream:
         live = [s for s in streams if s.molar_flow > 0]
         if not live:
             return Stream.empty()
-        total = sum(s.molar_flow for s in live)
+        total = 0.0
+        for s in live:
+            total += s.molar_flow
         flows = [0.0] * N_SPECIES
         temp = 0.0
         for s in live:
-            temp += s.temperature_c * s.molar_flow / total
-            for i, f in enumerate(s.component_flows()):
-                flows[i] += f
+            mf = s.molar_flow
+            temp += s.temperature_c * mf / total
+            fractions = s.composition.fractions
+            for i in range(N_SPECIES):
+                flows[i] += mf * fractions[i]
         pressure = min(s.pressure_kpa for s in live)
-        return Stream(total, Composition(flows), temp, pressure)
+        return Stream(total, Composition._normalized(flows), temp, pressure)

@@ -24,9 +24,13 @@ class Flowsheet:
         self._actuators: dict[str, Callable[[float], None]] = {}
         self.time_sec = 0.0
         self.steps = 0
+        # Prebound unit.step methods, rebuilt lazily after add_unit():
+        # the per-step unit sweep is the hottest loop in every HIL run.
+        self._unit_steps: tuple[Callable[[float], None], ...] | None = None
 
     def add_unit(self, unit: ProcessUnit) -> ProcessUnit:
         self.units.append(unit)
+        self._unit_steps = None
         return unit
 
     def add_sensor(self, name: str, fn: Callable[[], float]) -> None:
@@ -52,6 +56,21 @@ class Flowsheet:
                 f"no actuator {actuator!r}; have {sorted(self._actuators)}")
         self._actuators[actuator](value)
 
+    def sensor_tap(self, name: str) -> Callable[[], float]:
+        """The raw sensor callable -- for hot paths that prebind their
+        reads (the HIL bridge's per-step PV publish).  Callers coerce the
+        result with ``float()`` exactly as :meth:`read` does."""
+        if name not in self._sensors:
+            raise KeyError(f"no sensor {name!r}; have {sorted(self._sensors)}")
+        return self._sensors[name]
+
+    def actuator_tap(self, name: str) -> Callable[[float], None]:
+        """The raw actuator callable (see :meth:`sensor_tap`)."""
+        if name not in self._actuators:
+            raise KeyError(
+                f"no actuator {name!r}; have {sorted(self._actuators)}")
+        return self._actuators[name]
+
     def sensor_names(self) -> list[str]:
         return sorted(self._sensors)
 
@@ -61,8 +80,11 @@ class Flowsheet:
     # ------------------------------------------------------------------
     def step(self, dt_sec: float) -> None:
         """Advance every unit by ``dt_sec`` (construction order)."""
-        for unit in self.units:
-            unit.step(dt_sec)
+        steps = self._unit_steps
+        if steps is None:
+            steps = self._unit_steps = tuple(u.step for u in self.units)
+        for step in steps:
+            step(dt_sec)
         self.time_sec += dt_sec
         self.steps += 1
 

@@ -79,6 +79,11 @@ class NaturalGasPlant:
         self.loops = self._build_loops()
         self._local_controllers: dict[str, FilteredPidController] = {}
         self._local_enabled: set[str] = set()
+        # Prebound (controller.step, pv tap, mv tap) triples for every
+        # enabled loop, rebuilt lazily when the enabled set changes: the
+        # regulator sweep runs every plant step and name-resolved taps
+        # dominated it.
+        self._local_compiled: list[tuple] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -288,18 +293,22 @@ class NaturalGasPlant:
                     list(loop.config.initial_memory(pv, loop.nominal_output)))
                 self._local_controllers[loop.name] = controller
             self._local_enabled.add(loop.name)
+        self._local_compiled = None
 
     def disable_local_control(self, name: str) -> None:
         self._local_enabled.discard(name)
+        self._local_compiled = None
 
     def _run_local_controllers(self) -> None:
-        for loop in self.loops:
-            if loop.name not in self._local_enabled:
-                continue
-            controller = self._local_controllers[loop.name]
-            pv = self.flowsheet.read(loop.pv)
-            mv = controller.step(pv)
-            self.flowsheet.write(loop.mv, mv)
+        compiled = self._local_compiled
+        if compiled is None:
+            compiled = self._local_compiled = [
+                (self._local_controllers[loop.name].step,
+                 self.flowsheet.sensor_tap(loop.pv),
+                 self.flowsheet.actuator_tap(loop.mv))
+                for loop in self.loops if loop.name in self._local_enabled]
+        for ctrl_step, pv_tap, mv_tap in compiled:
+            mv_tap(ctrl_step(float(pv_tap())))
 
     # ------------------------------------------------------------------
     # Advancing

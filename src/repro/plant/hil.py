@@ -87,6 +87,18 @@ class HilBridge:
         self.image.on_write(self._on_register_write)
         self.steps_taken = 0
         self._running = False
+        # Stale-callback guard: every start()/stop() bumps the generation
+        # and the recurring step event carries the generation it was armed
+        # with, so a bridge stopped (or stopped-and-restarted) mid-flight
+        # never double-steps the plant from a stranded chain.
+        self._generation = 0
+        # Prebound (address, raw sensor tap) pairs in publish order: the
+        # per-step PV sweep reads through these instead of name-resolving
+        # every signal on every step.
+        self._sensor_taps = [
+            (binding.address, self.plant.flowsheet.sensor_tap(signal))
+            for signal, binding in self.sensor_bindings.items()]
+        self._plant_dt_sec = self.plant_dt_ticks / SEC
 
     def _define_registers(self) -> None:
         for i, (signal, (lo, hi)) in enumerate(sorted(_SENSOR_RANGES.items())):
@@ -120,21 +132,26 @@ class HilBridge:
         if self._running:
             return
         self._running = True
-        self.engine.post(self.plant_dt_ticks, self._step)
+        self._generation += 1
+        self.engine.post(self.plant_dt_ticks, self._step, self._generation)
 
     def stop(self) -> None:
+        """Halt the stepping chain.  The generation bump makes any armed
+        step event a no-op even if the bridge is started again before it
+        fires."""
         self._running = False
+        self._generation += 1
 
-    def _step(self) -> None:
-        if not self._running:
+    def _step(self, generation: int) -> None:
+        if generation != self._generation or not self._running:
             return
-        self.plant.step(self.plant_dt_ticks / SEC)
+        self.plant.step(self._plant_dt_sec)
         self.steps_taken += 1
-        # Publish PVs to the image (one serial transaction's latency).
-        for signal, binding in self.sensor_bindings.items():
-            value = self.plant.flowsheet.read(signal)
-            self.link.write_async(binding.address, value)
-        self.engine.post(self.plant_dt_ticks, self._step)
+        # Publish PVs to the image (one serial transaction's latency, one
+        # engine event for the whole batch).
+        self.link.write_many_async(
+            [(address, float(tap())) for address, tap in self._sensor_taps])
+        self.engine.post(self.plant_dt_ticks, self._step, generation)
 
     def _on_register_write(self, address: int, value: float) -> None:
         binding = self._address_to_actuator.get(address)

@@ -37,25 +37,53 @@ def liquid_fraction(boiling_point_c: float, temperature_c: float,
     return 1.0 / (1.0 + math.exp(-x * 4.0))
 
 
+# Per-(T, P) species split fractions.  Separators flash at a fixed
+# pressure and often a fixed (or converged) temperature, so the seven
+# log10/exp evaluations per flash collapse to one dict hit.  Values are a
+# pure function of the key, so caching changes no bits; the size cap only
+# guards pathological workloads that never repeat a key.
+_SPLIT_CACHE: dict[tuple[float, float], tuple[float, ...]] = {}
+_SPLIT_CACHE_MAX = 16384
+
+
+def _split_fractions(temperature_c: float,
+                     pressure_kpa: float) -> tuple[float, ...]:
+    key = (temperature_c, pressure_kpa)
+    cached = _SPLIT_CACHE.get(key)
+    if cached is None:
+        cached = tuple(
+            liquid_fraction(s.boiling_point_c, temperature_c, pressure_kpa)
+            for s in SPECIES)
+        if len(_SPLIT_CACHE) >= _SPLIT_CACHE_MAX:
+            _SPLIT_CACHE.clear()
+        _SPLIT_CACHE[key] = cached
+    return cached
+
+
 def flash(stream: Stream, temperature_c: float,
           pressure_kpa: float) -> tuple[Stream, Stream]:
     """Split a stream into (vapor, liquid) at the given conditions.
 
     Returns two streams at (T, P); either may have zero flow.
     """
+    splits = _split_fractions(temperature_c, pressure_kpa)
+    molar_flow = stream.molar_flow
+    fractions = stream.composition.fractions
     vapor_flows = []
     liquid_flows = []
-    for species, flow in zip(SPECIES, stream.component_flows()):
-        liq = flow * liquid_fraction(species.boiling_point_c, temperature_c,
-                                     pressure_kpa)
+    for i in range(len(splits)):
+        flow = molar_flow * fractions[i]
+        liq = flow * splits[i]
         liquid_flows.append(liq)
         vapor_flows.append(flow - liq)
     vapor_total = sum(vapor_flows)
     liquid_total = sum(liquid_flows)
-    vapor = (Stream(vapor_total, Composition(vapor_flows), temperature_c,
+    vapor = (Stream(vapor_total, Composition._normalized(vapor_flows),
+                    temperature_c,
                     pressure_kpa) if vapor_total > 1e-12
              else Stream.empty(temperature_c, pressure_kpa))
-    liquid = (Stream(liquid_total, Composition(liquid_flows), temperature_c,
+    liquid = (Stream(liquid_total, Composition._normalized(liquid_flows),
+                     temperature_c,
                      pressure_kpa) if liquid_total > 1e-12
               else Stream.empty(temperature_c, pressure_kpa))
     return vapor, liquid

@@ -28,6 +28,16 @@ _BASE_OVERHEAD_RECOVERY = {
     "C3": 0.955, "iC4": 0.06, "nC4": 0.02,
 }
 
+# Index-aligned views for the per-step split sweep (the dict/formula
+# lookups dominated `step`); the math stays in `_overhead_recovery`'s
+# exact operation order.
+from repro.plant.components import SPECIES_INDEX as _SPECIES_INDEX  # noqa: E402
+
+_BASE_RECOVERY = tuple(_BASE_OVERHEAD_RECOVERY[s.formula] for s in SPECIES)
+_C3_I = _SPECIES_INDEX["C3"]
+_IC4_I = _SPECIES_INDEX["iC4"]
+_NC4_I = _SPECIES_INDEX["nC4"]
+
 
 class Depropanizer(ProcessUnit):
     """Splitter column with drum/sump/pressure/temperature dynamics."""
@@ -108,12 +118,23 @@ class Depropanizer(ProcessUnit):
         alpha = dt_sec / (self.reboiler_tau_sec + dt_sec)
         self.temperature_c += alpha * (target - self.temperature_c)
         feed = self.feed()
-        # Split the feed into internal overhead/bottoms traffic.
+        # Split the feed into internal overhead/bottoms traffic.  The
+        # recovery shift is constant across one step, so the sweep runs
+        # index-based with `_overhead_recovery`'s arithmetic inlined.
         overhead_flows = [0.0] * N_SPECIES
         bottoms_flows = [0.0] * N_SPECIES
-        for i, (species, flow) in enumerate(
-                zip(SPECIES, feed.component_flows())):
-            recovery = self._overhead_recovery(species.formula)
+        shift = (self.temperature_c - 95.0) / 10.0 * 0.02
+        feed_mf = feed.molar_flow
+        feed_fr = feed.composition.fractions
+        for i in range(N_SPECIES):
+            base = _BASE_RECOVERY[i]
+            if i == _C3_I:
+                recovery = min(0.999, max(0.5, base + shift))
+            elif i == _IC4_I or i == _NC4_I:
+                recovery = min(0.5, max(0.0, base + shift))
+            else:
+                recovery = base
+            flow = feed_mf * feed_fr[i]
             overhead_flows[i] = flow * recovery
             bottoms_flows[i] = flow * (1.0 - recovery)
         overhead_total = sum(overhead_flows)
@@ -125,7 +146,7 @@ class Depropanizer(ProcessUnit):
             * dt_sec / self.pressure_volume_mol_per_kpa
         self.pressure_kpa = max(200.0, self.pressure_kpa)
         if overhead_total > 1e-9:
-            overhead_comp = Composition(overhead_flows)
+            overhead_comp = Composition._normalized(overhead_flows, copy=True)
         else:
             overhead_comp = Composition({"C3": 1.0})
         self.overhead_gas_out = Stream(gas_out_flow, overhead_comp,
@@ -157,7 +178,8 @@ class Depropanizer(ProcessUnit):
         out_flows = [h * fraction / dt_sec for h in holdup]
         for i in range(N_SPECIES):
             holdup[i] *= (1.0 - fraction)
-        return Stream(sum(out_flows), Composition(out_flows), temperature_c,
+        return Stream(sum(out_flows), Composition._normalized(out_flows),
+                      temperature_c,
                       self.pressure_kpa)
 
     def _clamp(self, holdup: list[float], capacity: float) -> None:

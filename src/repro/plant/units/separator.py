@@ -88,23 +88,29 @@ class TwoPhaseSeparator(ProcessUnit):
         if self._fixed_temperature_c is None:
             self.temperature_c = feed.temperature_c
         vapor, liquid = flash(feed, self.temperature_c, self.pressure_kpa)
-        # Condensed liquid accumulates.
-        for i, flow in enumerate(liquid.component_flows()):
-            self.holdup[i] += flow * dt_sec
+        # Condensed liquid accumulates (inlined component flows; the
+        # arithmetic matches `component_flows()` element for element).
+        holdup = self.holdup
+        liquid_mf = liquid.molar_flow
+        liquid_fr = liquid.composition.fractions
+        for i in range(N_SPECIES):
+            holdup[i] += (liquid_mf * liquid_fr[i]) * dt_sec
         # Drain through the valve, limited by available liquid and any
         # back-pressure on the downstream liquid header.
         requested = self.liquid_valve.requested_flow
         if self.drain_backpressure is not None:
             requested *= max(0.0, min(1.0, self.drain_backpressure()))
-        available_rate = self.holdup_mol / dt_sec
-        drained = min(requested, available_rate)
         holdup_total = self.holdup_mol
+        available_rate = holdup_total / dt_sec
+        drained = min(requested, available_rate)
         if drained > 0 and holdup_total > 0:
             fraction = min(1.0, drained * dt_sec / holdup_total)
-            out_flows = [h * fraction / dt_sec for h in self.holdup]
-            self.holdup = [h * (1.0 - fraction) for h in self.holdup]
-            self.liquid_out = Stream(sum(out_flows), Composition(out_flows)
-                                     if sum(out_flows) > 1e-12
+            out_flows = [h * fraction / dt_sec for h in holdup]
+            self.holdup = [h * (1.0 - fraction) for h in holdup]
+            out_total = sum(out_flows)
+            self.liquid_out = Stream(out_total,
+                                     Composition._normalized(out_flows)
+                                     if out_total > 1e-12
                                      else liquid.composition,
                                      self.temperature_c, self.pressure_kpa)
         else:

@@ -159,6 +159,20 @@ class CampaignRunner:
             return max(1, self.chunksize)
         return max(1, n_jobs // (self.max_workers * 4))
 
+    def map_jobs(self, fn, jobs: Sequence[Any]) -> list[Any]:
+        """Fan arbitrary picklable jobs across the persistent pool.
+
+        The generic face of the runner: ``fn`` must be a module-level
+        callable and each job a picklable value (the wide-grid campaign
+        drivers use this to share the scenario subsystem's pool,
+        chunking and respawn machinery).  Results preserve job order;
+        serial runners map in-process.
+        """
+        if not self.parallel:
+            return [fn(job) for job in jobs]
+        return list(self._executor().map(
+            fn, jobs, chunksize=self._chunksize_for(len(jobs))))
+
     def run(self, scenarios: Sequence[Scenario]) -> CampaignResult:
         jobs = [(f"{i:03d}_{_slug(s.name)}_s{s.seed}", s)
                 for i, s in enumerate(scenarios)]

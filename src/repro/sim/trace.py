@@ -3,10 +3,24 @@
 Experiments, benchmarks and tests assert on traces rather than poking at
 internal state: each subsystem records ``TraceEvent`` rows (time, category,
 source, payload) and analysis code filters/aggregates them afterwards.
+
+``Trace.record`` sits on the hot path of every traced run (the medium, the
+MACs and the RTOS all emit rows per frame/job), so the log is kept as raw
+tuples and :class:`TraceEvent` objects are only materialized for rows a
+view actually returns -- recording allocates nothing beyond the keyword
+dict the call itself builds, ``count()`` allocates nothing at all, and
+``events(category=...)`` pays only for its matches.  Materialized rows
+are value-identical to the eager implementation this replaced (a
+hypothesis property pins this).
+
+Wide-grid runs that only ever inspect the recent past can bound memory
+with ``Trace(capacity=...)``: the log becomes a ring that retains the most
+recent ``capacity`` rows and counts what it dropped.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
@@ -36,23 +50,35 @@ class Trace:
     """Append-only event log with filtered views.
 
     A ``Trace`` may be shared by the whole simulation; categories keep
-    subsystems separable.  Optional live subscribers receive each event as it
-    is recorded (used by fault detectors that watch actuation outputs).
+    subsystems separable.  Optional live subscribers receive each event as
+    it is recorded (used by fault detectors that watch actuation outputs);
+    subscriber-delivered events compare equal to the materialized rows.
+
+    ``capacity=None`` (the default) retains everything; an integer turns
+    the log into a ring holding the most recent ``capacity`` rows, with
+    :attr:`dropped` counting evictions.
     """
 
-    def __init__(self) -> None:
-        self._events: list[TraceEvent] = []
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        # Raw rows: (time, category, source, data).  Bounded traces ride a
+        # maxlen deque (O(1) eviction); unbounded ones a plain list.
+        self._raw: Any = deque(maxlen=capacity) if capacity else []
+        self._recorded = 0
         self._subscribers: list[Callable[[TraceEvent], None]] = []
 
     def record(self, time: int, category: str, source: str,
-               **data: Any) -> TraceEvent:
+               **data: Any) -> None:
         """Append an event and notify live subscribers."""
-        event = TraceEvent(time=time, category=category, source=source,
-                           data=data)
-        self._events.append(event)
-        for subscriber in list(self._subscribers):
-            subscriber(event)
-        return event
+        self._raw.append((time, category, source, data))
+        self._recorded += 1
+        if self._subscribers:
+            event = TraceEvent(time=time, category=category, source=source,
+                               data=data)
+            for subscriber in list(self._subscribers):
+                subscriber(event)
 
     def subscribe(self, callback: Callable[[TraceEvent], None]) -> Callable[[], None]:
         """Receive every future event; returns an unsubscribe function."""
@@ -67,54 +93,78 @@ class Trace:
         return unsubscribe
 
     # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Rows evicted by the ring (0 for unbounded traces)."""
+        return self._recorded - len(self._raw)
+
+    def _select(self, category: str | None, source: str | None,
+                since: int | None = None, until: int | None = None):
+        """Matching raw rows, cheapest filters first (no allocation)."""
+        for row in self._raw:
+            if category is not None and not row[1].startswith(category):
+                continue
+            if source is not None and row[2] != source:
+                continue
+            if since is not None and row[0] < since:
+                continue
+            if until is not None and row[0] > until:
+                continue
+            yield row
+
+    # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._events)
+        return len(self._raw)
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self._events)
+        # Generator, not a prebuilt list: iterating a multi-million-row
+        # trace must not materialize every event up front.
+        return (TraceEvent(t, c, s, d) for (t, c, s, d) in self._raw)
 
     def events(self, category: str | None = None, source: str | None = None,
                since: int | None = None, until: int | None = None,
                ) -> list[TraceEvent]:
         """Events filtered by category prefix, source and time window."""
-        out = []
-        for event in self._events:
-            if category is not None and not event.category.startswith(category):
-                continue
-            if source is not None and event.source != source:
-                continue
-            if since is not None and event.time < since:
-                continue
-            if until is not None and event.time > until:
-                continue
-            out.append(event)
-        return out
+        return [TraceEvent(t, c, s, d)
+                for (t, c, s, d) in self._select(category, source,
+                                                 since, until)]
 
     def count(self, category: str | None = None, source: str | None = None) -> int:
-        return len(self.events(category=category, source=source))
+        if category is None and source is None:
+            return len(self._raw)
+        return sum(1 for _ in self._select(category, source))
 
     def series(self, category: str, key: str,
                source: str | None = None) -> list[tuple[int, Any]]:
         """(time, data[key]) pairs for events in ``category`` -- a time series."""
-        return [(e.time, e.data[key])
-                for e in self.events(category=category, source=source)
-                if key in e.data]
+        return [(t, d[key]) for (t, c, s, d) in self._select(category, source)
+                if key in d]
 
     def last(self, category: str, source: str | None = None) -> TraceEvent | None:
-        matches = self.events(category=category, source=source)
-        return matches[-1] if matches else None
+        # Newest-first scan: polls for the most recent event are common
+        # and must not walk a multi-million-row log from the front.
+        for (t, c, s, d) in reversed(self._raw):
+            if not c.startswith(category):
+                continue
+            if source is not None and s != source:
+                continue
+            return TraceEvent(t, c, s, d)
+        return None
 
     def clear(self) -> None:
-        self._events.clear()
+        self._raw.clear()
+        self._recorded = 0
 
     def dump(self, categories: Iterable[str] | None = None) -> str:
         """Multi-line human-readable rendering (debugging aid)."""
         rows = []
-        for event in self._events:
+        for (t, c, s, d) in self._raw:
             if categories is not None and not any(
-                    event.category.startswith(c) for c in categories):
+                    c.startswith(prefix) for prefix in categories):
                 continue
-            rows.append(str(event))
+            rows.append(str(TraceEvent(t, c, s, d)))
         return "\n".join(rows)

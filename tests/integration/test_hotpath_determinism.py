@@ -187,11 +187,70 @@ def vm_payload() -> str:
     return json.dumps(rows, sort_keys=True)
 
 
+# ----------------------------------------------------------------------
+# Workload 5: plant stepping (scalar/batched equivalence)
+# ----------------------------------------------------------------------
+def plant_payload() -> str:
+    """The gas plant under local control, with a mid-run loop exclusion
+    and external actuation -- every branch the batched/compiled step
+    path takes.  Captured from the *scalar* (seed) implementation, so
+    the vectorized ``NaturalGasPlant.step`` must be numerically
+    identical to it."""
+    from repro.plant.gas_plant import NaturalGasPlant
+
+    plant = NaturalGasPlant()
+    plant.enable_local_control()
+    snapshots = []
+    for i in range(400):
+        plant.step(0.5)
+        if i % 100 == 99:
+            snapshots.append(plant.flowsheet.snapshot())
+    # Hand the case-study loop to an external driver (the HIL shape):
+    # the compiled controller pass must rebuild around the exclusion.
+    plant.enable_local_control(exclude=("lts_level",))
+    for i in range(200):
+        plant.flowsheet.write("lts_liquid_valve_pct", 11.0 + (i % 7) * 0.5)
+        plant.step(0.5)
+        if i % 50 == 49:
+            snapshots.append(plant.flowsheet.snapshot())
+    plant.enable_local_control()
+    for i in range(100):
+        plant.step(0.5)
+    snapshots.append(plant.flowsheet.snapshot())
+    return json.dumps({"snapshots": snapshots,
+                       "streams": plant.stream_table()}, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Workload 6: wide-grid failover / placement / MAC-lifetime trials
+# ----------------------------------------------------------------------
+def widegrid_payload() -> str:
+    """A 100-node random-geometric failover trial plus one placement and
+    one MAC-lifetime study -- the wide-grid drivers end to end."""
+    from repro.experiments.widegrid import (
+        WideGridConfig,
+        run_widegrid_mac_lifetime,
+        run_widegrid_placement,
+        run_widegrid_trial,
+    )
+
+    trial = run_widegrid_trial(WideGridConfig(
+        n_nodes=100, seed=1, duration_sec=20.0, crash_primary_at_sec=8.0))
+    placement = run_widegrid_placement(n_nodes=100, seed=3)
+    mac = run_widegrid_mac_lifetime("rtlink", WideGridConfig(
+        n_nodes=64, seed=5, duration_sec=15.0, report_period_sec=6.0))
+    return json.dumps({"trial": dataclasses.asdict(trial),
+                       "placement": dataclasses.asdict(placement),
+                       "mac": dataclasses.asdict(mac)}, sort_keys=True)
+
+
 WORKLOADS = {
     "fig6": fig6_payload,
     "campaign": campaign_payload,
     "mac_heavy": mac_heavy_payload,
     "vm_suite": vm_payload,
+    "plant": plant_payload,
+    "widegrid": widegrid_payload,
 }
 
 
@@ -218,6 +277,16 @@ class TestGoldenDigests:
 
     def test_mac_heavy_matches_seed_golden(self):
         assert _digest(mac_heavy_payload()) == _goldens()["mac_heavy"]
+
+    def test_plant_matches_scalar_golden(self):
+        """The batched/compiled plant step is bit-identical to the scalar
+        seed path this digest was captured from."""
+        assert _digest(plant_payload()) == _goldens()["plant"]
+
+    def test_widegrid_matches_seed_golden_and_replays(self):
+        payload = widegrid_payload()
+        assert payload == widegrid_payload()  # replay identity
+        assert _digest(payload) == _goldens()["widegrid"]
 
 
 # ----------------------------------------------------------------------
@@ -576,20 +645,29 @@ class TestSeedEdgeSemantics:
         assert "5.0" in out
 
 
-def _capture() -> None:
-    digests = {name: _digest(fn()) for name, fn in WORKLOADS.items()}
+def _capture(names: list[str] | None = None) -> None:
+    """(Re)capture golden digests.  With ``names``, only those workloads
+    are recaptured and merged over the existing file -- digests captured
+    from an earlier seed stay byte-for-byte untouched."""
+    existing = (json.loads(GOLDEN_PATH.read_text())
+                if GOLDEN_PATH.exists() else {"digests": {}})
+    targets = names or list(WORKLOADS)
+    digests = dict(existing.get("digests", {}))
+    for name in targets:
+        digests[name] = _digest(WORKLOADS[name]())
     GOLDEN_PATH.write_text(json.dumps(
         {"captured_from": "seed implementation (pre hot-path optimization)",
          "digests": digests}, indent=2, sort_keys=True) + "\n")
     print(f"wrote {GOLDEN_PATH}")
-    for name, digest in digests.items():
-        print(f"  {name}: {digest}")
+    for name in targets:
+        print(f"  {name}: {digests[name]}")
 
 
 if __name__ == "__main__":
     import sys
 
     if "--capture" in sys.argv:
-        _capture()
+        names = [a for a in sys.argv[1:] if not a.startswith("--")]
+        _capture(names or None)
     else:
         print(__doc__)

@@ -1,0 +1,138 @@
+"""Wide-grid stress & conformance suite: 100-256 node random meshes.
+
+Marked ``slow`` and excluded from the tier-1 run (pyproject deselects the
+marker); the dedicated ``scale-tests`` CI job runs it on a schedule and on
+the ``scale-tests`` PR label.  Each test asserts the paper's behavior at
+two orders of magnitude beyond the six-node testbed: end-to-end pipeline
+convergence, failover under ``NodeCrash``, recovery, the MAC lifetime
+ordering, placement quality -- and a bounded wall-clock, so scale-out
+regressions fail loudly instead of just getting slower.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments.widegrid import (
+    CTRL_GAIN,
+    SENSOR_VALUE,
+    WideGridConfig,
+    WideGridRig,
+    WideGridTrialSpec,
+    run_widegrid_campaign,
+    run_widegrid_mac_lifetime,
+    run_widegrid_placement,
+    run_widegrid_trial,
+)
+from repro.scenarios.faults import NodeCrash
+from repro.sim.clock import SEC
+
+pytestmark = pytest.mark.slow
+
+EXPECTED_ACT = SENSOR_VALUE * CTRL_GAIN
+
+# Generous ceilings (CI runners are slow): locally the 100-node trial
+# takes ~1.5 s and the 256-node one ~3 s.
+WALL_CLOCK_100_SEC = 90.0
+WALL_CLOCK_256_SEC = 180.0
+
+
+class TestHundredNodeCampaign:
+    def test_failover_campaign_converges_and_is_deterministic(self):
+        start = time.perf_counter()
+        specs = [WideGridTrialSpec("failover", WideGridConfig(
+                     n_nodes=100, seed=seed, duration_sec=30.0,
+                     crash_primary_at_sec=10.0))
+                 for seed in (1, 2)]
+        records = run_widegrid_campaign(specs)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2 * WALL_CLOCK_100_SEC
+        assert [r["trial"] for r in records] == [s.label() for s in specs]
+        for record in records:
+            result = record["result"]
+            # End-to-end convergence: sensor -> controller -> actuator
+            # settled at gain*input despite 95 background reporters.
+            assert result["act_input"] == pytest.approx(EXPECTED_ACT)
+            assert result["delivery_ratio"] > 0.5
+            # Failover under NodeCrash: detected, executed, actuator
+            # switched to the backup.
+            assert result["crashes"] == 1
+            assert result["failovers_executed"] >= 1
+            assert result["detection_time_sec"] is not None
+            assert result["failover_time_sec"] >= 10.0
+            assert result["active_controller_final"] == \
+                result["roles"]["ctrl_b"]
+        # Same spec -> bit-identical record (the campaign contract).
+        replay = run_widegrid_campaign(specs[:1])
+        assert replay[0] == records[0]
+
+    def test_nodecrash_fault_primitive_applies_to_widegrid_rig(self):
+        """The scenario-subsystem primitive drives the wide-grid rig
+        directly (duck-typed ``rig.kernels``), not just the HIL rig."""
+        config = WideGridConfig(n_nodes=100, seed=3, duration_sec=30.0)
+        rig = WideGridRig(config)
+        crash = NodeCrash(rig.roles["ctrl_a"])
+        rig.engine.post(int(10.0 * SEC), crash.apply, rig)
+        rig.run_for_seconds(config.duration_sec)
+        result = rig.collect()
+        assert result.crashes == 1
+        assert result.failovers_executed >= 1
+        assert result.active_controller_final == rig.roles["ctrl_b"]
+
+    def test_crash_recover_cycle(self):
+        result = run_widegrid_trial(WideGridConfig(
+            n_nodes=100, seed=4, duration_sec=40.0,
+            crash_primary_at_sec=10.0, recover_at_sec=25.0))
+        assert result.crashes == 1
+        assert result.failovers_executed >= 1
+        # The recovered primary rejoined without destabilizing the pipe.
+        assert result.act_input == pytest.approx(EXPECTED_ACT)
+
+
+class TestTwoFiftySixNodes:
+    def test_fault_free_convergence_and_wall_clock(self):
+        start = time.perf_counter()
+        result = run_widegrid_trial(WideGridConfig(
+            n_nodes=256, area_m=240.0, radio_range_m=30.0, seed=2,
+            duration_sec=40.0))
+        elapsed = time.perf_counter() - start
+        assert elapsed < WALL_CLOCK_256_SEC
+        assert result.n_nodes == 256
+        assert result.act_input == pytest.approx(EXPECTED_ACT)
+        assert result.ctrl_jobs_run > 10
+        assert result.delivery_ratio > 0.3
+        assert result.crashes == 0
+
+    def test_failover_at_256(self):
+        result = run_widegrid_trial(WideGridConfig(
+            n_nodes=256, area_m=240.0, radio_range_m=30.0, seed=2,
+            duration_sec=40.0, crash_primary_at_sec=12.0))
+        assert result.failovers_executed >= 1
+        assert result.active_controller_final == result.roles["ctrl_b"]
+
+
+class TestMacLifetimeAtScale:
+    def test_rtlink_outlives_csma_macs_on_wide_mesh(self):
+        """The paper's C2 ordering -- scheduled TDMA beats low-power
+        CSMA on lifetime -- holds on a 100-node mesh under tree-routed
+        report traffic."""
+        config = WideGridConfig(n_nodes=100, seed=1, duration_sec=20.0)
+        rows = {protocol: run_widegrid_mac_lifetime(protocol, config)
+                for protocol in ("rtlink", "bmac", "smac")}
+        assert rows["rtlink"].lifetime_years > rows["bmac"].lifetime_years
+        assert rows["rtlink"].lifetime_years > rows["smac"].lifetime_years
+        assert rows["rtlink"].delivery_ratio >= rows["bmac"].delivery_ratio
+        # Collision-free by construction vs. contention.
+        assert rows["rtlink"].collisions == 0
+        assert rows["bmac"].collisions > 0
+
+
+class TestPlacementAtScale:
+    @pytest.mark.parametrize("n_nodes,seed", [(100, 3), (192, 7)])
+    def test_bqp_never_degrades_below_greedy(self, n_nodes, seed):
+        result = run_widegrid_placement(n_nodes=n_nodes, seed=seed)
+        assert result.n_nodes == n_nodes
+        assert result.bqp_cost <= result.greedy_cost
+        assert len(result.placement) == result.n_tasks

@@ -214,7 +214,7 @@ class TestTraceFlag:
         h.medium.port("a").transmit(
             Packet(src="a", dst="b", kind="x", size_bytes=16))
         engine.run()
-        categories = [event.category for event in h.medium.trace._events]
+        categories = [event.category for event in h.medium.trace]
         assert "medium.tx" in categories and "medium.rx" in categories
 
     def test_trace_detached_disables_recording(self, engine):

@@ -1,0 +1,103 @@
+"""HilBridge stepping chain: batched PV publish + stale-callback guard.
+
+The bridge schedules one recurring engine event per plant step and ships
+the whole sensor sweep through a single batched ModBus transaction event.
+Mirrors ``TestGenerationGuard`` (tests/sim/test_process.py): stale events
+from a stopped chain must dispatch as inert no-ops, even when the bridge
+is restarted before they fire.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plant.gas_plant import NaturalGasPlant
+from repro.plant.hil import HilBridge
+from repro.sim.clock import MS, SEC
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def bridge():
+    engine = Engine()
+    plant = NaturalGasPlant()
+    return engine, HilBridge(engine, plant, plant_dt_ticks=100 * MS)
+
+
+class TestHilBridgeGenerationGuard:
+    def test_stop_leaves_stale_step_inert(self, bridge):
+        engine, hil = bridge
+        hil.start()
+        engine.run_until(350 * MS)
+        assert hil.steps_taken == 3
+        hil.stop()
+        # The armed step event (t=400ms) is still in the queue; it must
+        # dispatch as a no-op.
+        engine.run_until(1 * SEC)
+        assert hil.steps_taken == 3
+        assert hil.plant.flowsheet.steps == 3
+
+    def test_stop_then_restart_runs_exactly_one_chain(self, bridge):
+        engine, hil = bridge
+        hil.start()
+        engine.run_until(150 * MS)  # one step at 100ms; next armed at 200ms
+        assert hil.steps_taken == 1
+        hil.stop()
+        hil.start()  # re-armed at 150+100=250ms, BEFORE the stale event fires
+        engine.run_until(1 * SEC)
+        # New chain: 250, 350, ..., 950 -> 8 steps.  A double chain (the
+        # pre-generation-token bug) would roughly double this.
+        assert hil.steps_taken == 1 + 8
+        assert hil.plant.flowsheet.steps == hil.steps_taken
+
+    def test_restart_after_idle_resumes(self, bridge):
+        engine, hil = bridge
+        hil.start()
+        engine.run_until(200 * MS)
+        hil.stop()
+        engine.run_until(600 * MS)  # stale event long gone
+        taken = hil.steps_taken
+        hil.start()
+        engine.run_until(1 * SEC)
+        assert hil.steps_taken > taken
+
+
+class TestBatchedPublish:
+    def test_pvs_land_after_one_transaction_delay(self, bridge):
+        engine, hil = bridge
+        address = hil.sensor_address("lts_level_pct")
+        initial = hil.image.read(address)
+        hil.start()
+        # Step fires at t=100ms; the batch applies one transaction later.
+        engine.run_until(102 * MS)
+        assert hil.image.read(address) == initial
+        engine.run_until(105 * MS)
+        level = hil.plant.flowsheet.read("lts_level_pct")
+        assert hil.image.read(address) == pytest.approx(level, abs=0.01)
+
+    def test_all_sensor_registers_published(self, bridge):
+        engine, hil = bridge
+        hil.start()
+        # Stop between steps (last step at 900ms, its batch applied at
+        # 905ms) so no publish is still in flight at the horizon.
+        engine.run_until(950 * MS)
+        for signal, binding in hil.sensor_bindings.items():
+            value = hil.plant.flowsheet.read(signal)
+            lo, hi = binding.lo, binding.hi
+            quantum = (hi - lo) / 0xFFFF
+            clamped = min(hi, max(lo, value))
+            assert hil.image.read(binding.address) == pytest.approx(
+                clamped, abs=quantum)
+
+    def test_transactions_count_one_per_register(self, bridge):
+        engine, hil = bridge
+        hil.start()
+        engine.run_until(500 * MS)
+        assert hil.link.transactions == \
+            hil.steps_taken * len(hil.sensor_bindings)
+
+    def test_actuator_write_hook_reaches_plant(self, bridge):
+        engine, hil = bridge
+        address = hil.actuator_address("chiller_duty_pct")
+        hil.image.write(address, 80.0)
+        assert hil.plant.chiller.duty_pct == pytest.approx(80.0, abs=0.01)
