@@ -1,6 +1,7 @@
 """Hot-path microbenchmarks: events/sec, VM instructions/sec, frames/sec,
-process resumes/sec, campaign runs/sec, plant steps/sec, traced
-events/sec and the wide-grid trial wall-clock.
+process resumes/sec, campaign runs/sec (local pool and distributed
+cluster), plant steps/sec, traced events/sec and the wide-grid trial
+wall-clock.
 
 Standalone driver (not a pytest module) that measures the inner loops
 every experiment burns time in -- ``Engine`` event dispatch,
@@ -254,6 +255,35 @@ def bench_campaign_runs(n_scenarios: int = 6, reps: int = 3) -> float:
         runner.close()
 
 
+def bench_campaign_dist_runs(n_scenarios: int = 6, reps: int = 3) -> float:
+    """The same fault-free grid through the distributed runner: one
+    coordinator plus two subprocess workers with two local processes
+    each (four execution slots, matching the local pool bench), jobs
+    shipped over localhost TCP with leases and heartbeats.  The spread
+    against ``campaign_runs_per_sec`` is the protocol + serialization
+    overhead of distribution at its least favorable (single host, so
+    no extra hardware to win back the cost)."""
+    from repro.dist import LocalCluster
+    from repro.scenarios import Scenario
+    from repro.scenarios.stock import fast_hil
+
+    grid = [Scenario(f"bench-{i}", hil=fast_hil(), seed=i, duration_sec=5.0)
+            for i in range(n_scenarios)]
+    with LocalCluster(n_workers=2, mode="subprocess",
+                      processes=2) as cluster:
+        cluster.wait_for_workers()
+        runner = cluster.runner()
+
+        def measure():
+            start = time.perf_counter()
+            result = runner.run(grid)
+            elapsed = time.perf_counter() - start
+            assert len(result.records) == n_scenarios and not result.failed
+            return n_scenarios, elapsed
+
+        return _best_rate(measure, reps=reps)
+
+
 # ----------------------------------------------------------------------
 # Plant: the natural-gas flowsheet step (HIL inner loop)
 # ----------------------------------------------------------------------
@@ -337,6 +367,7 @@ METRICS = {
     "frames_per_sec": bench_medium_frames,
     "carrier_sense_per_sec": bench_carrier_sense,
     "campaign_runs_per_sec": bench_campaign_runs,
+    "campaign_dist_runs_per_sec": bench_campaign_dist_runs,
     "plant_steps_per_sec": bench_plant_steps,
     "traced_events_per_sec": bench_traced_events,
     "widegrid_trial_sec": bench_widegrid_trial,
@@ -362,19 +393,20 @@ def main() -> None:
                         choices=("baseline", "optimized"),
                         help="which side of the comparison this run records")
     parser.add_argument("--out", default=None,
-                        help="snapshot path (default: <repo>/BENCH_4.json)")
+                        help="snapshot path (default: <repo>/BENCH_5.json)")
     args = parser.parse_args()
 
     out = Path(args.out) if args.out else \
-        Path(__file__).resolve().parent.parent / "BENCH_4.json"
+        Path(__file__).resolve().parent.parent / "BENCH_5.json"
     snapshot = json.loads(out.read_text()) if out.exists() else {
-        "bench": 4,
+        "bench": 5,
         "description": ("Hot-path microbenchmark snapshot: Engine event "
                         "dispatch, Process resumes, EVM interpretation, "
                         "Medium frame resolution, campaign sweep "
-                        "throughput, plant stepping, trace recording and "
-                        "the 100-node wide-grid trial "
-                        "(benchmarks/hotpath.py)"),
+                        "throughput (local pool and distributed "
+                        "coordinator/worker cluster), plant stepping, "
+                        "trace recording and the 100-node wide-grid "
+                        "trial (benchmarks/hotpath.py)"),
     }
     snapshot["host"] = {
         "python": platform.python_version(),

@@ -241,3 +241,25 @@ def test_widegrid_trial_smoke(benchmark):
     assert result.failovers_executed >= 1
     assert result.active_controller_final == result.roles["ctrl_b"]
     assert result.reports_delivered > 0
+
+
+def test_distributed_campaign_smoke(benchmark):
+    """The distributed runner end to end on a thread-mode LocalCluster:
+    jobs over real localhost sockets, leases, results streamed back --
+    functional smoke for the campaign_dist_runs_per_sec meter (the
+    BENCH_5 meter uses subprocess workers with process pools)."""
+    from repro.dist import LocalCluster
+    from repro.scenarios import Scenario
+    from repro.scenarios.stock import fast_hil
+
+    grid = [Scenario(f"bench-dist-{i}", hil=fast_hil(), seed=i,
+                     duration_sec=3.0) for i in range(3)]
+
+    def drive():
+        with LocalCluster(n_workers=2, slots=2) as cluster:
+            cluster.wait_for_workers()
+            return cluster.runner().run(grid)
+
+    result = benchmark.pedantic(drive, rounds=1, iterations=1)
+    assert len(result.records) == 3 and not result.failed
+    assert result.summary["total_runs"] == 3

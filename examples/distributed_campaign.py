@@ -1,0 +1,94 @@
+"""Distributed chaos campaign: the same scenario grid, fanned out over
+a ``repro.dist`` coordinator/worker cluster instead of a local pool.
+
+Two ways to run it:
+
+- **standalone** (no arguments): spins up an in-process
+  ``LocalCluster`` (coordinator + 2 workers with 2 processes each) and
+  runs the grid through it -- a one-command demo of the whole
+  subsystem;
+- **against a real cluster**: start a coordinator and some workers
+  first (see the README "Distributed campaigns" quickstart), then::
+
+      python examples/distributed_campaign.py --connect 127.0.0.1:7461
+
+``--shutdown`` asks the coordinator to stop once the campaign is done
+(handy for scripted smoke runs); ``--results-dir`` persists the run
+records through the usual staged-commit results store.
+"""
+
+import argparse
+import time
+
+from repro.scenarios import format_summary_table, stock_scenario, sweep
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="an already-running coordinator (default: "
+                             "spin up an in-process LocalCluster)")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
+    parser.add_argument("--results-dir",
+                        default="results/distributed_campaign")
+    parser.add_argument("--fast", action="store_true",
+                        help="short scenario horizons (smoke runs)")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="stop the coordinator after the campaign")
+    args = parser.parse_args()
+
+    if args.fast:
+        bases = [stock_scenario("primary-crash", crash_at_sec=8.0,
+                                duration_sec=20.0),
+                 stock_scenario("wedged-primary", fault_at_sec=8.0,
+                                duration_sec=20.0)]
+    else:
+        bases = [stock_scenario("primary-crash"),
+                 stock_scenario("wedged-primary")]
+    grid = sweep(bases, seeds=args.seeds)
+    print(f"campaign: {len(bases)} scenarios x {len(args.seeds)} seeds = "
+          f"{len(grid)} runs")
+
+    cluster = None
+    if args.connect is None:
+        from repro.dist import LocalCluster
+
+        cluster = LocalCluster(n_workers=2, mode="subprocess", processes=2)
+        cluster.wait_for_workers()
+        address = cluster.address
+        print(f"local cluster up at {address} (2 workers x 2 processes)")
+    else:
+        address = args.connect
+
+    from repro.dist import DistributedCampaignRunner
+
+    try:
+        with DistributedCampaignRunner(
+                address, results_dir=args.results_dir) as runner:
+            done = []
+
+            def progress(record):
+                done.append(record)
+                print(f"  [{len(done)}/{len(grid)}] {record['run_id']}")
+
+            started = time.perf_counter()
+            result = runner.run(grid, on_result=progress)
+            elapsed = time.perf_counter() - started
+            print(f"completed {len(result.records)} runs in {elapsed:.1f} s "
+                  f"({len(result.records) / elapsed:.2f} scenarios/s), "
+                  f"{len(result.failed)} failed\n")
+            print(format_summary_table(result.summary))
+            if result.store_root:
+                print(f"\nwrote per-run JSON records under "
+                      f"{result.store_root}/")
+            if args.shutdown and cluster is None:
+                runner.shutdown_coordinator()
+                print("asked coordinator to shut down")
+    finally:
+        if cluster is not None:
+            cluster.close()
+    return 0 if not result.failed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Distributed campaign execution: coordinator/worker fan-out over TCP.
+
+The scenario subsystem shards grids across *local* processes; this
+package is the next scale step the ROADMAP names -- the same picklable
+campaign jobs shipped over sockets to worker agents on any number of
+hosts, under the same staged-commit :class:`~repro.scenarios.store
+.ResultsStore` contract:
+
+- :mod:`repro.dist.protocol` -- length-prefixed JSON/pickle framing;
+- :mod:`repro.dist.coordinator` -- the :class:`Coordinator` job broker
+  with heartbeat- and deadline-guarded leases and bounded retries;
+- :mod:`repro.dist.worker` -- the thin :class:`WorkerAgent` that leases
+  jobs into a local process pool and streams results back;
+- :mod:`repro.dist.runner` -- :class:`DistributedCampaignRunner`, the
+  drop-in for :class:`~repro.scenarios.runner.CampaignRunner`;
+- :mod:`repro.dist.cluster` -- :class:`LocalCluster`, the test harness
+  (coordinator + N workers in-process or as subprocesses);
+- :mod:`repro.dist.cli` -- the ``python -m repro.dist`` entry point
+  (``coordinator`` / ``worker`` / ``status`` subcommands).
+"""
+
+from repro.dist.cluster import LocalCluster
+from repro.dist.coordinator import Coordinator
+from repro.dist.runner import DistributedCampaignRunner, DistributedJobError
+from repro.dist.worker import WorkerAgent
+
+__all__ = [
+    "Coordinator",
+    "DistributedCampaignRunner",
+    "DistributedJobError",
+    "LocalCluster",
+    "WorkerAgent",
+]

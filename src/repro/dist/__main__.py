@@ -1,0 +1,5 @@
+import sys
+
+from repro.dist.cli import main
+
+sys.exit(main())

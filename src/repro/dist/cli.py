@@ -1,0 +1,118 @@
+"""``python -m repro.dist`` -- run a coordinator or a worker agent.
+
+Quickstart (three terminals on one machine)::
+
+    # terminal 1: the broker
+    PYTHONPATH=src python -m repro.dist coordinator --port 7461
+
+    # terminals 2+3: one agent each (2 local processes apiece)
+    PYTHONPATH=src python -m repro.dist worker \\
+        --connect 127.0.0.1:7461 --processes 2
+
+then point any :class:`~repro.dist.runner.DistributedCampaignRunner`
+(e.g. ``examples/distributed_campaign.py`` or ``python -m
+repro.experiments.widegrid --dist 127.0.0.1:7461``) at the coordinator.
+``status`` prints the broker's live queue/worker snapshot as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.dist.protocol import DEFAULT_PORT
+
+
+def _cmd_coordinator(args: argparse.Namespace) -> int:
+    from repro.dist.coordinator import Coordinator
+
+    coordinator = Coordinator(host=args.host, port=args.port,
+                              lease_timeout=args.lease_timeout,
+                              worker_timeout=args.worker_timeout,
+                              max_attempts=args.max_attempts)
+    print(f"coordinator listening on {coordinator.address} "
+          f"(lease {args.lease_timeout}s, worker {args.worker_timeout}s, "
+          f"max attempts {args.max_attempts})", flush=True)
+    try:
+        coordinator.serve_forever()
+    except KeyboardInterrupt:
+        coordinator.stop()
+    print("coordinator stopped", flush=True)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.dist.worker import WorkerAgent
+
+    agent = WorkerAgent(args.connect, processes=args.processes,
+                        slots=args.slots or None, name=args.name,
+                        heartbeat_period=args.heartbeat,
+                        connect_timeout=args.connect_timeout)
+    print(f"worker {agent.name} -> {args.connect} "
+          f"({args.processes} process(es), {agent.slots} slot(s))",
+          flush=True)
+    try:
+        agent.run()  # returns on coordinator shutdown / loss
+    except KeyboardInterrupt:
+        agent.stop()
+    print(f"worker {agent.name} exiting "
+          f"({agent.jobs_done} done, {agent.jobs_failed} failed)",
+          flush=True)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.dist.runner import DistributedCampaignRunner
+
+    with DistributedCampaignRunner(
+            args.connect, connect_timeout=args.connect_timeout) as runner:
+        print(json.dumps(runner.status(), indent=2, sort_keys=True))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="python -m repro.dist",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    coord = sub.add_parser("coordinator",
+                           help="serve the job-leasing broker")
+    coord.add_argument("--host", default="127.0.0.1")
+    coord.add_argument("--port", type=int, default=DEFAULT_PORT)
+    coord.add_argument("--lease-timeout", type=float, default=300.0,
+                       help="hard per-job execution deadline (s)")
+    coord.add_argument("--worker-timeout", type=float, default=15.0,
+                       help="heartbeat silence before a worker is dropped")
+    coord.add_argument("--max-attempts", type=int, default=3,
+                       help="lease grants per job before it is failed")
+    coord.set_defaults(func=_cmd_coordinator)
+
+    worker = sub.add_parser("worker", help="lease and execute jobs")
+    worker.add_argument("--connect", required=True,
+                        help="coordinator address, host:port")
+    worker.add_argument("--processes", type=int, default=1,
+                        help="local process pool width (0 = inline)")
+    worker.add_argument("--slots", type=int, default=0,
+                        help="concurrent leases (default: pool width)")
+    worker.add_argument("--heartbeat", type=float, default=2.0)
+    worker.add_argument("--connect-timeout", type=float, default=30.0,
+                        help="how long to retry dialing the coordinator")
+    worker.add_argument("--name", default="")
+    worker.set_defaults(func=_cmd_worker)
+
+    status = sub.add_parser("status",
+                            help="print the coordinator's snapshot")
+    status.add_argument("--connect", required=True)
+    status.add_argument("--connect-timeout", type=float, default=10.0)
+    status.set_defaults(func=_cmd_status)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

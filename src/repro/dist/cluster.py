@@ -1,0 +1,196 @@
+"""In-process / subprocess cluster harness for deterministic tests.
+
+``LocalCluster`` spins up one :class:`~repro.dist.coordinator.Coordinator`
+on an ephemeral localhost port plus ``n_workers`` worker agents, and
+hands out :class:`~repro.dist.runner.DistributedCampaignRunner` clients
+bound to it.  Two worker modes:
+
+- ``mode="thread"`` (default): each :class:`WorkerAgent` runs on a
+  daemon thread *inside this process* with an inline (thread) executor
+  -- no fork, no spawn, fully deterministic and fast, which is what the
+  conformance and parity tests want;
+- ``mode="subprocess"``: each worker is a real ``python -m repro.dist
+  worker`` child process (with ``src`` prepended to ``PYTHONPATH``), so
+  tests can ``kill_worker()`` with a real SIGKILL and exercise the
+  requeue path exactly the way a crashed remote host would.
+
+The cluster is a context manager; exit stops the workers, then the
+coordinator.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import Any
+
+from repro.dist.coordinator import Coordinator
+from repro.dist.runner import DistributedCampaignRunner
+from repro.dist.worker import WorkerAgent
+
+
+def sleepy_echo(arg: dict) -> Any:
+    """Demo/test job: sleep ``arg["sleep_sec"]`` then return
+    ``arg["value"]``.  Module-level so subprocess workers can import it
+    by reference; the sleep gives kill-mid-lease tests a window in
+    which the job is reliably in flight."""
+    import time as _time
+
+    _time.sleep(float(arg.get("sleep_sec", 0.0)))
+    return arg.get("value")
+
+
+class LocalCluster:
+    """Coordinator + N workers on localhost, wired for tests.
+
+    ``processes`` is forwarded to each worker: 0 (default in thread
+    mode) executes jobs inline on worker threads; >= 1 gives each
+    worker its own process pool.  ``slots=None`` (default) matches
+    each worker's concurrent leases to its executor width, the same
+    rule ``WorkerAgent`` itself applies.  Lease/heartbeat knobs
+    default to the coordinator's production values; tests shrink them
+    to exercise the reaper quickly.
+    """
+
+    def __init__(self, n_workers: int = 2, mode: str = "thread",
+                 processes: int | None = None, slots: int | None = None,
+                 lease_timeout: float | None = None,
+                 worker_timeout: float | None = None,
+                 heartbeat_period: float = 0.2,
+                 max_attempts: int | None = None) -> None:
+        if mode not in ("thread", "subprocess"):
+            raise ValueError(f"unknown cluster mode {mode!r}")
+        self.mode = mode
+        self.n_workers = n_workers
+        self.processes = processes if processes is not None else \
+            (0 if mode == "thread" else 1)
+        self.slots = slots
+        self.heartbeat_period = heartbeat_period
+        kwargs: dict[str, Any] = {}
+        if lease_timeout is not None:
+            kwargs["lease_timeout"] = lease_timeout
+        if worker_timeout is not None:
+            kwargs["worker_timeout"] = worker_timeout
+        if max_attempts is not None:
+            kwargs["max_attempts"] = max_attempts
+        self.coordinator = Coordinator(host="127.0.0.1", port=0, **kwargs)
+        self.coordinator.start()
+        self.workers: list[WorkerAgent | subprocess.Popen] = []
+        self._runners: list[DistributedCampaignRunner] = []
+        for i in range(n_workers):
+            self.workers.append(self._spawn_worker(i))
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        return self.coordinator.address
+
+    def _spawn_worker(self, index: int):
+        name = f"local-{index}"
+        if self.mode == "thread":
+            agent = WorkerAgent(self.address, processes=self.processes,
+                                slots=self.slots, name=name,
+                                heartbeat_period=self.heartbeat_period)
+            return agent.start()
+        env = dict(os.environ)
+        src = str(self._src_root())
+        env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                                   if env.get("PYTHONPATH") else "")
+        # Each worker leads its own process group (start_new_session),
+        # so killing "the worker" takes its forked pool children with
+        # it -- a bare SIGKILL on the agent alone would orphan them.
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.dist", "worker",
+             "--connect", self.address,
+             "--processes", str(self.processes),
+             "--slots", str(self.slots or 0),  # 0 = executor width
+             "--heartbeat", str(self.heartbeat_period),
+             "--name", name],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            start_new_session=True)
+
+    @staticmethod
+    def _signal_group(proc: subprocess.Popen, sig: int) -> None:
+        """Signal a subprocess worker's whole process group (falling
+        back to the process alone if the group is already gone)."""
+        try:
+            os.killpg(proc.pid, sig)
+        except OSError:
+            try:
+                proc.send_signal(sig)
+            except OSError:
+                pass
+
+    @staticmethod
+    def _src_root():
+        from pathlib import Path
+
+        import repro
+
+        # ``repro`` is a namespace package: locate src/ via __path__.
+        return Path(list(repro.__path__)[0]).resolve().parent
+
+    # ------------------------------------------------------------------
+    def runner(self, results_dir: str | None = None,
+               max_attempts: int | None = None,
+               ) -> DistributedCampaignRunner:
+        """A client runner bound to this cluster (closed with it)."""
+        runner = DistributedCampaignRunner(
+            self.address, results_dir=results_dir,
+            max_attempts=max_attempts)
+        self._runners.append(runner)
+        return runner
+
+    def wait_for_workers(self, n: int | None = None,
+                         timeout: float = 10.0) -> None:
+        """Block until ``n`` (default: all spawned) workers are
+        registered with the coordinator -- subprocess workers race
+        their own startup."""
+        want = self.n_workers if n is None else n
+        deadline = time.monotonic() + timeout
+        while len(self.coordinator.status()["workers"]) < want:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"only {len(self.coordinator.status()['workers'])} of "
+                    f"{want} workers registered after {timeout}s")
+            time.sleep(0.02)
+
+    def kill_worker(self, index: int = 0) -> None:
+        """Abruptly kill one worker mid-whatever-it-was-doing: SIGKILL
+        for subprocess workers, a no-goodbye socket drop for thread
+        workers.  The coordinator sees a disconnect and requeues the
+        worker's leases."""
+        victim = self.workers[index]
+        if isinstance(victim, WorkerAgent):
+            victim.kill()
+        else:
+            # Kill the whole group: a crashed host takes its pool
+            # children down too (and orphans would otherwise linger).
+            self._signal_group(victim, signal.SIGKILL)
+            victim.wait(timeout=10)
+
+    def close(self) -> None:
+        for runner in self._runners:
+            runner.close()
+        self._runners.clear()
+        for worker in self.workers:
+            if isinstance(worker, WorkerAgent):
+                worker.stop()
+            elif worker.poll() is None:
+                self._signal_group(worker, signal.SIGTERM)
+                try:
+                    worker.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    self._signal_group(worker, signal.SIGKILL)
+                    worker.wait(timeout=5)
+        self.workers.clear()
+        self.coordinator.stop()
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,645 @@
+"""The campaign coordinator: a TCP job broker with fault-tolerant leases.
+
+One :class:`Coordinator` serves two kinds of peers over the framed
+protocol in :mod:`repro.dist.protocol`:
+
+- **clients** (a :class:`~repro.dist.runner.DistributedCampaignRunner`)
+  submit batches of pre-pickled jobs and receive one ``result`` frame
+  per job as it completes, then a ``done`` frame;
+- **workers** (a :class:`~repro.dist.worker.WorkerAgent`) announce a
+  slot count and are pushed ``job`` frames up to that many at a time,
+  answering with ``result`` frames and periodic ``heartbeat`` frames.
+
+Every in-flight job is a **lease**: granted to exactly one worker with
+a hard execution deadline.  A worker that disconnects, misses enough
+heartbeats, or sits on a lease past its deadline gets the job taken
+back and requeued at the front of the queue; a job that has burned
+through ``max_attempts`` grants is reported to its client as a failed
+run instead of being retried forever.  Results are first-win: the
+earliest result for a job settles it, and late duplicates from a
+worker whose lease was already revoked are dropped.
+
+Ordinary exceptions raised *by the job function* are not retried --
+they are deterministic outcomes, reported to the client immediately --
+only the loss of the worker executing a job triggers a requeue.  This
+mirrors the local pool, where an exception propagates but a dead
+machine would have killed the whole campaign; here it only costs a
+re-run of the leased jobs on the survivors.
+
+All coordinator state is guarded by one lock; socket writes happen
+outside it (a slow peer must never stall the broker).  The class is
+self-contained and thread-per-connection: no asyncio, no selectors,
+just blocking reads, which keeps the failure surface small enough to
+reason about.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.dist.protocol import (
+    DEFAULT_PORT,
+    ConnectionClosed,
+    ProtocolError,
+    parse_address,
+    recv_message,
+    send_message,
+    unpack_blob_list,
+)
+
+__all__ = ["Coordinator", "CoordinatorStats", "DEFAULT_PORT", "connect"]
+
+DEFAULT_LEASE_TIMEOUT = 300.0
+DEFAULT_WORKER_TIMEOUT = 15.0
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+@dataclass
+class JobRecord:
+    """One submitted job: an opaque pre-pickled payload plus lease
+    bookkeeping.  ``attempts`` counts lease *grants*, so a job seen by
+    ``max_attempts`` workers without an answer is declared failed.
+
+    ``key`` is the broker-internal identity
+    (``c<client>b<batch>:<job_id>``): two clients are free to pick
+    colliding job ids, and one client's sequential batches reuse them,
+    so every queue, lease and wire frame between coordinator and
+    workers uses the namespaced key -- a straggler result for a
+    *previous* batch's job can then never settle the same id in a
+    later batch.  Only the frames back to the owning client carry its
+    original ``job_id``."""
+
+    key: str
+    job_id: str
+    payload: bytes
+    client_id: int
+    max_attempts: int
+    attempts: int = 0
+    # Workers that already lost/timed out this job: retries prefer
+    # anyone else (falling back to them only when nobody else has a
+    # free slot, so exclusion can never starve a job).
+    excluded: set[int] = field(default_factory=set)
+
+
+@dataclass
+class Lease:
+    job: JobRecord
+    worker_id: int
+    deadline: float
+    # Which grant this lease represents; results echo it so a stale
+    # frame from a previous attempt on the SAME worker cannot be
+    # mistaken for the live one.
+    attempt: int = 0
+
+
+class _Peer:
+    """Shared connection plumbing: a socket plus a write lock so result
+    fan-in from many worker threads cannot interleave frames."""
+
+    def __init__(self, peer_id: int, sock: socket.socket, name: str) -> None:
+        self.id = peer_id
+        self.sock = sock
+        self.name = name
+        self.alive = True
+        self._send_lock = threading.Lock()
+
+    def send(self, header: dict[str, Any],
+             payload: bytes | None = None) -> bool:
+        """Best-effort framed send; a dead socket just reports False
+        (the reader thread owns the actual teardown)."""
+        with self._send_lock:
+            return self.send_unlocked(header, payload)
+
+    def send_unlocked(self, header: dict[str, Any],
+                      payload: bytes | None = None) -> bool:
+        """The raw send, for callers already holding ``_send_lock`` to
+        order multiple frames atomically."""
+        try:
+            send_message(self.sock, header, payload)
+            return True
+        except OSError:
+            self.alive = False
+            return False
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class _Worker(_Peer):
+    def __init__(self, peer_id: int, sock: socket.socket, name: str,
+                 slots: int) -> None:
+        super().__init__(peer_id, sock, name)
+        self.slots = max(1, slots)
+        self.inflight: set[str] = set()
+        self.last_seen = time.monotonic()
+
+
+class _Client(_Peer):
+    def __init__(self, peer_id: int, sock: socket.socket, name: str) -> None:
+        super().__init__(peer_id, sock, name)
+        self.outstanding: set[str] = set()
+        self.completed = 0
+        self.failed = 0
+        self.batches = 0
+
+
+@dataclass
+class CoordinatorStats:
+    """Counters the status endpoint and tests read."""
+
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    jobs_requeued: int = 0
+    workers_dropped: int = 0
+    results_ignored: int = 0
+
+
+class Coordinator:
+    """Serve the leasing protocol on ``host:port`` (port 0 = ephemeral).
+
+    ``lease_timeout`` is the hard per-job execution deadline (a hung
+    worker loses the job even while its heartbeat thread stays chatty);
+    ``worker_timeout`` is how long a silent worker survives between
+    heartbeats before all its leases are revoked.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+                 worker_timeout: float = DEFAULT_WORKER_TIMEOUT,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> None:
+        self.lease_timeout = lease_timeout
+        self.worker_timeout = worker_timeout
+        self.max_attempts = max(1, max_attempts)
+        self.stats = CoordinatorStats()
+        self._lock = threading.Lock()
+        self._pending: deque[JobRecord] = deque()
+        self._jobs: dict[str, JobRecord] = {}
+        self._leases: dict[str, Lease] = {}
+        self._workers: dict[int, _Worker] = {}
+        self._clients: dict[int, _Client] = {}
+        self._peer_ids = itertools.count(1)
+        self._threads: list[threading.Thread] = []
+        self._stopped = threading.Event()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "Coordinator":
+        """Spawn the accept and reaper threads; returns self."""
+        if self._started:
+            return self
+        self._started = True
+        for target, name in ((self._accept_loop, "dist-accept"),
+                             (self._reaper_loop, "dist-reaper")):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def serve_forever(self) -> None:
+        """Start and block until :meth:`stop` (the CLI entry point)."""
+        self.start()
+        self._stopped.wait()
+
+    def stop(self) -> None:
+        """Shut the broker down: workers are told to exit, every socket
+        is closed, pending jobs are abandoned (clients see the drop)."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        with self._lock:
+            peers = list(self._workers.values()) + list(self._clients.values())
+        for peer in peers:
+            if isinstance(peer, _Worker):
+                peer.send({"type": "shutdown"})
+            peer.close()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Coordinator":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Accept / per-connection readers
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            thread = threading.Thread(target=self._serve_peer, args=(sock,),
+                                      name="dist-peer", daemon=True)
+            thread.start()
+
+    def _serve_peer(self, sock: socket.socket) -> None:
+        """Handshake then dispatch to the role-specific read loop.  A
+        malformed hello (wrong types, bad frame) just drops the
+        connection -- a bad peer must not kill the thread with a
+        traceback or leak the accepted socket."""
+        try:
+            header, _payload = recv_message(sock)
+            if header.get("type") != "hello":
+                raise ProtocolError("expected hello")
+            peer_id = next(self._peer_ids)
+            name = str(header.get("name", f"peer-{peer_id}"))
+            role = header.get("role")
+            if role == "worker":
+                slots = int(header.get("slots", 1))
+            elif role != "client":
+                raise ProtocolError(f"unknown role {role!r}")
+        except (ConnectionClosed, ProtocolError, OSError, ValueError,
+                TypeError):
+            sock.close()
+            return
+        if role == "worker":
+            worker = _Worker(peer_id, sock, name, slots)
+            with self._lock:
+                self._workers[peer_id] = worker
+            worker.send({"type": "welcome", "worker_id": peer_id})
+            self._dispatch()
+            self._worker_loop(worker)
+        else:
+            client = _Client(peer_id, sock, name)
+            with self._lock:
+                self._clients[peer_id] = client
+            client.send({"type": "welcome", "client_id": peer_id})
+            self._client_loop(client)
+
+    def _worker_loop(self, worker: _Worker) -> None:
+        try:
+            while not self._stopped.is_set():
+                header, payload = recv_message(worker.sock)
+                kind = header["type"]
+                if kind == "heartbeat":
+                    worker.last_seen = time.monotonic()
+                elif kind == "result":
+                    worker.last_seen = time.monotonic()
+                    self._on_result(worker, str(header["job_id"]),
+                                    bool(header["ok"]),
+                                    header.get("error"), payload,
+                                    retryable=bool(header.get("retryable")),
+                                    attempt=int(header.get("attempt", 0)))
+                elif kind == "goodbye":
+                    break
+        except (ConnectionClosed, ProtocolError, OSError,
+                KeyError, ValueError, TypeError):
+            pass  # malformed frame == broken peer: drop it
+        finally:
+            self._drop_worker(worker, "disconnected")
+
+    def _client_loop(self, client: _Client) -> None:
+        try:
+            while not self._stopped.is_set():
+                header, payload = recv_message(client.sock)
+                kind = header["type"]
+                if kind == "submit":
+                    self._on_submit(client, header, payload)
+                elif kind == "status":
+                    client.send({"type": "status", "status": self.status()})
+                elif kind == "shutdown":
+                    # Stop first (so the requester observes a stopped
+                    # broker the moment its ack/EOF arrives), then ack
+                    # best-effort -- stop() may already have closed us.
+                    self.stop()
+                    client.send({"type": "stopping"})
+                    break
+                elif kind == "goodbye":
+                    break
+        except (ConnectionClosed, ProtocolError, OSError,
+                KeyError, ValueError, TypeError):
+            pass  # malformed frame == broken peer: drop it
+        finally:
+            self._drop_client(client)
+
+    # ------------------------------------------------------------------
+    # Leasing core (all under self._lock; sends deferred outside it)
+    # ------------------------------------------------------------------
+    def _on_submit(self, client: _Client, header: dict[str, Any],
+                   payload: bytes) -> None:
+        job_ids = [str(j) for j in header.get("job_ids", [])]
+        # Length-prefixed split, NOT pickle: the broker never unpickles
+        # client data -- only workers (which execute the jobs anyway)
+        # unpickle the individual blobs.
+        blobs = unpack_blob_list(payload)
+        if len(blobs) != len(job_ids):
+            client.send({"type": "error",
+                         "error": "job_ids/payload length mismatch"})
+            return
+        max_attempts = int(header.get("max_attempts", self.max_attempts))
+        with self._lock:
+            if not client.outstanding:
+                # A fresh batch on a reused connection: the done-frame
+                # counters describe one batch, not the connection's life.
+                client.completed = client.failed = 0
+            client.batches += 1
+            prefix = f"c{client.id}b{client.batches}"
+            for job_id, blob in zip(job_ids, blobs):
+                record = JobRecord(key=f"{prefix}:{job_id}",
+                                   job_id=job_id, payload=blob,
+                                   client_id=client.id,
+                                   max_attempts=max(1, max_attempts))
+                self._jobs[record.key] = record
+                self._pending.append(record)
+                client.outstanding.add(record.key)
+            self.stats.jobs_submitted += len(job_ids)
+        # No "accepted" ack: a fast batch could complete (result + done
+        # frames) before an ack sent here, leaving a stray frame that
+        # would desync the client's next status/shutdown exchange.  The
+        # result stream itself is the acknowledgement.
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Grant pending jobs to workers with free slots (FIFO over the
+        queue, least-loaded worker first, avoiding workers that
+        already lost the job).  Sends happen outside the lock; a
+        failed send drops the worker, which requeues."""
+        while True:
+            with self._lock:
+                # Settled jobs leave stale entries in the deque (cheap
+                # lazy cleanup instead of O(n) removes under the lock).
+                while self._pending and \
+                        self._pending[0].key not in self._jobs:
+                    self._pending.popleft()
+                if not self._pending:
+                    return
+                candidates = [w for w in self._workers.values()
+                              if w.alive and len(w.inflight) < w.slots]
+                if not candidates:
+                    return
+                job = self._pending[0]
+                eligible = [w for w in candidates
+                            if w.id not in job.excluded] or candidates
+                worker = min(eligible,
+                             key=lambda w: (len(w.inflight), w.id))
+                self._pending.popleft()
+                job.attempts += 1
+                worker.inflight.add(job.key)
+                self._leases[job.key] = Lease(
+                    job=job, worker_id=worker.id,
+                    deadline=time.monotonic() + self.lease_timeout,
+                    attempt=job.attempts)
+            sent = worker.send({"type": "job", "job_id": job.key,
+                                "attempt": job.attempts}, job.payload)
+            if not sent:
+                self._drop_worker(worker, "send failed")
+
+    def _on_result(self, worker: _Worker, key: str, ok: bool,
+                   error: str | None, payload: bytes,
+                   retryable: bool = False, attempt: int = 0) -> None:
+        delivery: Callable[[], None] | None = None
+        settled = False
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is None:
+                # Stale: the job was settled earlier (first result won,
+                # or its client went away).  Free the bookkeeping only.
+                worker.inflight.discard(key)
+                self.stats.results_ignored += 1
+            elif not ok and retryable:
+                # The worker is alive but *lost* the execution (its pool
+                # child died): requeue within the attempt budget -- but
+                # only if this worker still holds the lease *for this
+                # attempt*; a revoked or re-granted lease means the job
+                # is already someone else's (or a newer grant's)
+                # problem, and revoking it here would burn the budget
+                # under a live execution.
+                lease = self._leases.get(key)
+                if (lease is None or lease.worker_id != worker.id
+                        or (attempt and lease.attempt != attempt)):
+                    self.stats.results_ignored += 1
+                else:
+                    worker.inflight.discard(key)
+                    delivery = self._requeue_locked(
+                        job, f"execution lost: {error}",
+                        exclude_worker=worker.id)
+            else:
+                # Success (or a deterministic job failure): first
+                # result wins regardless of which attempt produced it.
+                self._settle_locked(job)
+                worker.inflight.discard(key)
+                settled = True
+        if settled:
+            self._deliver(job, ok, error, payload)
+        elif delivery is not None:
+            delivery()
+        # Always redispatch: even a stale result freed a worker slot.
+        self._dispatch()
+
+    def _settle_locked(self, job: JobRecord) -> None:
+        """Remove a job from every queue/lease (caller holds the lock)."""
+        del self._jobs[job.key]
+        lease = self._leases.pop(job.key, None)
+        if lease is not None:
+            holder = self._workers.get(lease.worker_id)
+            if holder is not None:
+                holder.inflight.discard(job.key)
+        # A stale entry may remain in self._pending; _dispatch skips
+        # entries whose key is no longer registered.
+
+    def _deliver(self, job: JobRecord, ok: bool, error: str | None,
+                 payload: bytes | None) -> None:
+        """Forward one settled job to its client (+ ``done`` when that
+        client's batch is drained).
+
+        The outstanding-set update and the sends happen under the
+        client's send lock: without it, two threads delivering the last
+        two jobs could interleave so that the drained thread's ``done``
+        frame overtakes the other thread's ``result`` frame, and the
+        client (which treats ``done`` as "every result has been sent")
+        would drop a completed job.  Lock order is send-lock outer,
+        state-lock inner -- nothing in the broker sends while holding
+        the state lock, so there is no inversion."""
+        with self._lock:
+            client = self._clients.get(job.client_id)
+            if ok:
+                self.stats.jobs_completed += 1
+            else:
+                self.stats.jobs_failed += 1
+            if client is None:
+                return
+        with client._send_lock:
+            with self._lock:
+                client.outstanding.discard(job.key)
+                if ok:
+                    client.completed += 1
+                else:
+                    client.failed += 1
+                drained = not client.outstanding
+                completed, failed = client.completed, client.failed
+            header: dict[str, Any] = {"type": "result",
+                                      "job_id": job.job_id,
+                                      "ok": ok, "attempts": job.attempts}
+            if error is not None:
+                header["error"] = error
+            client.send_unlocked(header, payload)
+            if drained:
+                client.send_unlocked({"type": "done",
+                                      "completed": completed,
+                                      "failed": failed})
+
+    def _requeue_locked(self, job: JobRecord, reason: str,
+                        exclude_worker: int | None = None,
+                        ) -> Callable[[], None] | None:
+        """Take a lease back (caller holds the lock).  Returns a deferred
+        failure delivery when the job is out of attempts.
+        ``exclude_worker`` marks the worker that just lost the job, so
+        the retry lands elsewhere whenever anyone else has capacity."""
+        self._leases.pop(job.key, None)
+        if job.attempts >= job.max_attempts:
+            del self._jobs[job.key]
+            message = (f"worker lost after {job.attempts} "
+                       f"attempt(s): {reason}")
+            return lambda: self._deliver(job, False, message, None)
+        if exclude_worker is not None:
+            job.excluded.add(exclude_worker)
+        self.stats.jobs_requeued += 1
+        self._pending.appendleft(job)
+        return None
+
+    def _drop_worker(self, worker: _Worker, reason: str) -> None:
+        """Remove a worker and requeue everything it was leasing."""
+        deliveries: list[Callable[[], None]] = []
+        with self._lock:
+            if self._workers.pop(worker.id, None) is None:
+                return  # already dropped by the reaper
+            self.stats.workers_dropped += 1
+            for key in sorted(worker.inflight):
+                lease = self._leases.get(key)
+                if lease is None or lease.worker_id != worker.id:
+                    continue
+                delivery = self._requeue_locked(lease.job, reason)
+                if delivery is not None:
+                    deliveries.append(delivery)
+            worker.inflight.clear()
+        worker.close()
+        for delivery in deliveries:
+            delivery()
+        self._dispatch()
+
+    def _drop_client(self, client: _Client) -> None:
+        """Forget a client: its unfinished jobs are cancelled (workers
+        already executing them will report into the void)."""
+        with self._lock:
+            if self._clients.pop(client.id, None) is None:
+                return
+            for key in list(client.outstanding):
+                job = self._jobs.get(key)
+                if job is not None:
+                    self._settle_locked(job)
+        client.close()
+
+    # ------------------------------------------------------------------
+    # Reaper: heartbeat liveness + lease deadlines
+    # ------------------------------------------------------------------
+    def _reap_period(self) -> float:
+        return min(1.0, max(0.05, min(self.worker_timeout,
+                                      self.lease_timeout) / 4.0))
+
+    def _reaper_loop(self) -> None:
+        while not self._stopped.wait(self._reap_period()):
+            now = time.monotonic()
+            with self._lock:
+                silent = [w for w in self._workers.values()
+                          if now - w.last_seen > self.worker_timeout]
+                expired = [lease for lease in self._leases.values()
+                           if now > lease.deadline]
+            for worker in silent:
+                self._drop_worker(worker, "heartbeat timeout")
+            deliveries: list[Callable[[], None]] = []
+            with self._lock:
+                for lease in expired:
+                    current = self._leases.get(lease.job.key)
+                    if current is not lease:
+                        continue  # settled or already requeued
+                    holder = self._workers.get(lease.worker_id)
+                    if holder is not None:
+                        holder.inflight.discard(lease.job.key)
+                    delivery = self._requeue_locked(
+                        lease.job, "lease deadline expired",
+                        exclude_worker=lease.worker_id)
+                    if delivery is not None:
+                        deliveries.append(delivery)
+            for delivery in deliveries:
+                delivery()
+            if silent or expired:
+                self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def status(self) -> dict[str, Any]:
+        """JSON-able snapshot (the CLI status line and tests read it)."""
+        with self._lock:
+            return {
+                "address": self.address,
+                "pending": len(self._pending),
+                "leased": len(self._leases),
+                "workers": [
+                    {"id": w.id, "name": w.name, "slots": w.slots,
+                     "inflight": len(w.inflight)}
+                    for w in sorted(self._workers.values(),
+                                    key=lambda w: w.id)],
+                "clients": len(self._clients),
+                "stats": dict(self.stats.__dict__),
+            }
+
+
+def connect(address: str, role: str, name: str = "",
+            timeout: float = 10.0, retry_period: float = 0.1,
+            slots: int | None = None) -> socket.socket:
+    """Dial a coordinator and complete the hello handshake, retrying
+    until ``timeout`` so freshly-forked peers can race the listener up.
+    Shared by the worker agent, the client runner and the CLI."""
+    host, port = parse_address(address)
+    deadline = time.monotonic() + timeout
+    last_error: Exception | None = None
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+            break
+        except OSError as exc:
+            last_error = exc
+            if time.monotonic() >= deadline:
+                raise ConnectionError(
+                    f"could not reach coordinator at {address}: "
+                    f"{last_error}") from last_error
+            time.sleep(retry_period)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    sock.settimeout(None)
+    hello: dict[str, Any] = {"type": "hello", "role": role, "name": name}
+    if slots is not None:
+        hello["slots"] = slots
+    send_message(sock, hello)
+    return sock

@@ -1,0 +1,160 @@
+"""Length-prefixed JSON/pickle framing for the distributed runner.
+
+Every message on a coordinator/worker/client socket is one frame::
+
+    [4-byte BE total length][4-byte BE header length][header][payload]
+
+The header is a UTF-8 JSON object carrying the message ``type`` plus
+small metadata fields (job ids, counters, flags); the payload is an
+optional pickle blob for the values that are not JSON-able -- the job
+callables and arguments shipped to workers and the result objects
+shipped back.  Splitting the two keeps routing decisions cheap (the
+coordinator never unpickles a job it merely relays) and keeps the
+payload format the same one the local ``CampaignRunner`` pool already
+relies on, so anything that runs locally ships over the wire unchanged.
+
+Frames are capped at :data:`MAX_FRAME_BYTES` so a corrupt or hostile
+length prefix cannot make a peer allocate unbounded memory.  The
+blocking helpers raise :class:`ConnectionClosed` on EOF, which every
+loop in the subsystem treats as "the peer is gone" rather than an
+error in the stream itself.
+
+Security note: pickle payloads execute code on unpickling, so the
+protocol is for trusted clusters (localhost, a lab LAN, your own
+fleet) -- the same trust boundary as the local process pool.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import struct
+from typing import Any
+
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+"""Upper bound on one frame; a length prefix beyond this is corruption."""
+
+DEFAULT_PORT = 7461
+"""The coordinator's default TCP port (single source: the CLI, the
+broker and address parsing all import it from here)."""
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame (bad lengths, header not JSON)."""
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed the socket (EOF mid-frame or between frames)."""
+
+
+def pack_message(header: dict[str, Any], payload: bytes | None = None,
+                 ) -> bytes:
+    """One wire frame for ``header`` (+ optional pickle ``payload``)."""
+    head = json.dumps(header, separators=(",", ":"),
+                      sort_keys=True).encode("utf-8")
+    body_len = _LEN.size + len(head) + (len(payload or b""))
+    if body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {body_len} bytes exceeds cap")
+    parts = [_LEN.pack(body_len), _LEN.pack(len(head)), head]
+    if payload:
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def send_message(sock: socket.socket, header: dict[str, Any],
+                 payload: bytes | None = None) -> None:
+    sock.sendall(pack_message(header, payload))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`ConnectionClosed`."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(f"peer closed with {remaining} of "
+                                   f"{n} frame bytes outstanding")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> tuple[dict[str, Any], bytes]:
+    """Next ``(header, payload)`` frame off ``sock`` (blocking)."""
+    body_len = _LEN.unpack(_recv_exact(sock, _LEN.size))[0]
+    if body_len < _LEN.size or body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"implausible frame length {body_len}")
+    body = _recv_exact(sock, body_len)
+    head_len = _LEN.unpack(body[:_LEN.size])[0]
+    if _LEN.size + head_len > body_len:
+        raise ProtocolError(f"header length {head_len} exceeds frame")
+    try:
+        header = json.loads(body[_LEN.size:_LEN.size + head_len])
+    except ValueError as exc:
+        raise ProtocolError(f"header is not JSON: {exc}") from exc
+    if not isinstance(header, dict) or "type" not in header:
+        raise ProtocolError("header must be an object with a 'type'")
+    return header, body[_LEN.size + head_len:]
+
+
+def dumps_payload(value: Any) -> bytes:
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def loads_payload(payload: bytes) -> Any:
+    return pickle.loads(payload)
+
+
+def pack_blob_list(blobs: list[bytes]) -> bytes:
+    """Concatenate opaque blobs with 4-byte length prefixes.  Submit
+    batches use this instead of pickling a list, so the *broker* can
+    split the envelope without ever unpickling client data -- only the
+    workers (which execute the jobs anyway) unpickle the blobs."""
+    parts: list[bytes] = []
+    for blob in blobs:
+        parts.append(_LEN.pack(len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def unpack_blob_list(data: bytes) -> list[bytes]:
+    blobs: list[bytes] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if offset + _LEN.size > total:
+            raise ProtocolError("truncated blob-list envelope")
+        length = _LEN.unpack_from(data, offset)[0]
+        offset += _LEN.size
+        if offset + length > total:
+            raise ProtocolError("blob length exceeds envelope")
+        blobs.append(data[offset:offset + length])
+        offset += length
+    return blobs
+
+
+def parse_address(address: str, default_port: int = DEFAULT_PORT,
+                  ) -> tuple[str, int]:
+    """``"host:port"`` / ``"host"`` / ``":port"`` -> ``(host, port)``.
+
+    IPv6 literals use bracket syntax (``[::1]:7461``); a bare literal
+    with multiple colons (``::1``) is taken as host-only.
+    """
+    if address.startswith("["):
+        host, bracket, rest = address.partition("]")
+        host = host[1:]
+        if not bracket:
+            raise ValueError(f"unterminated '[' in address {address!r}")
+        if rest.startswith(":"):
+            return (host or "127.0.0.1"), int(rest[1:])
+        return (host or "127.0.0.1"), default_port
+    if address.count(":") > 1:
+        return address, default_port  # bare IPv6 literal, no port
+    host, sep, port = address.rpartition(":")
+    if not sep:
+        return (address or "127.0.0.1"), default_port
+    return (host or "127.0.0.1"), int(port)

@@ -1,0 +1,257 @@
+"""Client-side distributed campaign runner.
+
+:class:`DistributedCampaignRunner` is the drop-in face of the
+subsystem: the same ``run(scenarios)`` / ``map_jobs(fn, jobs)`` calls
+as the local :class:`~repro.scenarios.runner.CampaignRunner`, but the
+jobs travel to a :class:`~repro.dist.coordinator.Coordinator` and fan
+out across however many :class:`~repro.dist.worker.WorkerAgent`
+processes are attached to it.
+
+The contracts are preserved deliberately:
+
+- ``run`` ships the *same* module-level job function the local pool
+  uses (``repro.scenarios.runner._run_record``) with the same
+  ``(run_id, scenario)`` jobs, so the records -- and therefore
+  ``summarize()`` output -- are byte-identical to a local run of the
+  same grid;
+- results stream into the same staged-commit
+  :class:`~repro.scenarios.store.ResultsStore` area as they arrive and
+  only :meth:`~repro.scenarios.store.ResultsStore.commit_staged` over
+  the previous campaign once the grid is complete, so a campaign
+  killed mid-flight (client, coordinator or workers) leaves the
+  previously committed results intact;
+- ``map_jobs`` preserves job order in its return value even though
+  results arrive in completion order.
+
+Jobs that permanently fail (a worker died ``max_attempts`` times while
+holding them) are *recorded*: ``run`` writes a failed-run record into
+the store and lists it on ``CampaignResult.failed`` instead of
+pretending the grid shrank; ``map_jobs`` raises
+:class:`DistributedJobError` naming every lost job, mirroring how the
+local pool propagates a worker exception.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Callable, Sequence
+
+from repro.dist import coordinator as coordinator_mod
+from repro.dist.protocol import (
+    ConnectionClosed,
+    dumps_payload,
+    loads_payload,
+    pack_blob_list,
+    recv_message,
+    send_message,
+)
+from repro.scenarios.runner import CampaignResult, _run_record, _slug, summarize
+from repro.scenarios.spec import Scenario
+
+
+class DistributedJobError(RuntimeError):
+    """One or more jobs were permanently lost (bounded retries burned)."""
+
+    def __init__(self, failures: list[tuple[str, str]]) -> None:
+        self.failures = failures
+        names = ", ".join(job_id for job_id, _ in failures[:5])
+        more = "" if len(failures) <= 5 else f" (+{len(failures) - 5} more)"
+        super().__init__(
+            f"{len(failures)} job(s) permanently failed: {names}{more}")
+
+
+class DistributedCampaignRunner:
+    """Run campaigns through a coordinator at ``address`` (host:port).
+
+    The connection is dialed lazily on the first call and reused across
+    campaigns; ``close()`` (or the context manager) says goodbye.
+    ``max_attempts=None`` defers to the coordinator's configured
+    default.
+    """
+
+    def __init__(self, address: str, results_dir: str | None = None,
+                 max_attempts: int | None = None,
+                 connect_timeout: float = 10.0, name: str = "") -> None:
+        self.address = address
+        self.results_dir = results_dir
+        self.max_attempts = max_attempts
+        self.connect_timeout = connect_timeout
+        self.name = name or "campaign-client"
+        self._sock: socket.socket | None = None
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+    def _connection(self) -> socket.socket:
+        if self._sock is None:
+            sock = coordinator_mod.connect(
+                self.address, role="client", name=self.name,
+                timeout=self.connect_timeout)
+            header, _ = recv_message(sock)
+            if header.get("type") != "welcome":
+                sock.close()
+                raise ConnectionError(
+                    f"unexpected handshake reply {header.get('type')!r}")
+            self._sock = sock
+        return self._sock
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                send_message(sock, {"type": "goodbye"})
+            except OSError:
+                pass
+            sock.close()
+
+    def __enter__(self) -> "DistributedCampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def shutdown_coordinator(self) -> None:
+        """Ask the coordinator to stop (it tells its workers to exit);
+        used by the CLI quickstart and the smoke job to tear a
+        localhost cluster down from the submitting side."""
+        sock = self._connection()
+        send_message(sock, {"type": "shutdown"})
+        try:
+            recv_message(sock)  # "stopping" ack (best effort)
+        except (ConnectionClosed, OSError):
+            pass
+        self.close()
+
+    def status(self) -> dict[str, Any]:
+        """The coordinator's live status snapshot."""
+        sock = self._connection()
+        send_message(sock, {"type": "status"})
+        while True:  # skip any stray frames until the matching reply
+            header, _ = recv_message(sock)
+            if header.get("type") == "status":
+                return header.get("status", {})
+
+    # ------------------------------------------------------------------
+    # Fan-out core
+    # ------------------------------------------------------------------
+    def _submit_and_collect(
+            self, fn: Callable[[Any], Any], jobs: Sequence[Any],
+            on_raw_result: Callable[[int, bool, Any], None] | None = None,
+    ) -> list[tuple[bool, Any, int]]:
+        """Ship ``(fn, job)`` pairs, gather ``(ok, value, attempts)`` in
+        job order.  ``on_raw_result(index, ok, value)`` streams each
+        settled job in completion order."""
+        if not jobs:
+            return []
+        sock = self._connection()
+        job_ids = [f"j{i:06d}" for i in range(len(jobs))]
+        blobs = [dumps_payload((fn, job)) for job in jobs]
+        header: dict[str, Any] = {"type": "submit", "job_ids": job_ids}
+        if self.max_attempts is not None:
+            header["max_attempts"] = self.max_attempts
+        send_message(sock, header, pack_blob_list(blobs))
+        outcomes: dict[int, tuple[bool, Any, int]] = {}
+        while True:
+            try:
+                reply, payload = recv_message(sock)
+            except (ConnectionClosed, OSError) as exc:
+                self.close()
+                raise ConnectionError(
+                    f"lost coordinator at {self.address} with "
+                    f"{len(jobs) - len(outcomes)} job(s) outstanding"
+                ) from exc
+            kind = reply["type"]
+            if kind == "result":
+                index = int(str(reply["job_id"])[1:])
+                ok = bool(reply["ok"])
+                value = (loads_payload(payload) if ok
+                         else str(reply.get("error", "job failed")))
+                outcomes[index] = (ok, value, int(reply.get("attempts", 1)))
+                if on_raw_result is not None:
+                    on_raw_result(index, ok, value)
+            elif kind == "done":
+                # The coordinator sends "done" strictly after the last
+                # result frame for this batch.
+                break
+            elif kind == "error":
+                self.close()
+                raise RuntimeError(f"coordinator rejected submission: "
+                                   f"{reply.get('error')}")
+        assert len(outcomes) == len(jobs)
+        return [outcomes[i] for i in range(len(jobs))]
+
+    # ------------------------------------------------------------------
+    # CampaignRunner-compatible API
+    # ------------------------------------------------------------------
+    def map_jobs(self, fn: Callable[[Any], Any], jobs: Sequence[Any],
+                 on_result: Callable[[int, Any], None] | None = None,
+                 ) -> list[Any]:
+        """Distributed twin of ``CampaignRunner.map_jobs``: results come
+        back in job order; ``on_result(index, result)`` streams them in
+        completion order.  Raises :class:`DistributedJobError` if any
+        job was permanently lost."""
+        jobs = list(jobs)
+        if not jobs:
+            return []
+
+        def stream(index: int, ok: bool, value: Any) -> None:
+            if ok and on_result is not None:
+                on_result(index, value)
+
+        outcomes = self._submit_and_collect(fn, jobs, stream)
+        failures = [(f"j{i:06d}", value)
+                    for i, (ok, value, _) in enumerate(outcomes) if not ok]
+        if failures:
+            raise DistributedJobError(failures)
+        return [value for _ok, value, _attempts in outcomes]
+
+    def run(self, scenarios: Sequence[Scenario],
+            on_result: Callable[[dict[str, Any]], None] | None = None,
+            ) -> CampaignResult:
+        """Distributed twin of ``CampaignRunner.run``: same job ids,
+        same records, same staged-commit store writes, byte-identical
+        ``summary`` for a grid that completes cleanly.  Permanently
+        failed runs are committed as error records and listed on
+        ``CampaignResult.failed``."""
+        jobs = [(f"{i:03d}_{_slug(s.name)}_s{s.seed}", s)
+                for i, s in enumerate(scenarios)]
+        store = None
+        if self.results_dir is not None:
+            from repro.scenarios.store import ResultsStore
+
+            store = ResultsStore(self.results_dir)
+            store.discard_staged()
+            store.begin_staging()
+
+        def stream(index: int, ok: bool, value: Any) -> None:
+            if ok:
+                if store is not None:
+                    store.stage_run(value["run_id"], value)
+                if on_result is not None:
+                    on_result(value)
+
+        try:
+            outcomes = self._submit_and_collect(_run_record, jobs, stream)
+        except BaseException:
+            if store is not None:
+                store.discard_staged()
+            raise
+        records: list[dict[str, Any]] = []
+        failed: list[dict[str, Any]] = []
+        for (run_id, scenario), (ok, value, attempts) in zip(jobs, outcomes):
+            if ok:
+                records.append(value)
+                continue
+            failure = {"run_id": run_id, "scenario": scenario.to_dict(),
+                       "error": str(value), "attempts": attempts}
+            failed.append(failure)
+            if store is not None:
+                store.stage_run(run_id, failure)
+        result = CampaignResult(records=records,
+                                summary=summarize(records),
+                                failed=failed)
+        if store is not None:
+            store.commit_staged()
+            store.save_summary(result.summary)
+            result.store_root = str(store.root)
+        return result

@@ -1,0 +1,234 @@
+"""The thin on-node agent: lease jobs, run them locally, stream results.
+
+A :class:`WorkerAgent` dials a coordinator, announces how many jobs it
+can hold at once (its *slots*), and then sits in a read loop.  Each
+``job`` frame carries an opaque pickle of ``(fn, arg)`` -- the exact
+value the local :class:`~repro.scenarios.runner.CampaignRunner` would
+have shipped to its process pool -- which the agent hands to its own
+local executor:
+
+- ``processes >= 1``: a ``ProcessPoolExecutor``, so jobs run with real
+  parallelism and a job that corrupts or kills its interpreter takes
+  down a child process, not the agent (a broken pool is respawned the
+  same way the local runner recovers);
+- ``processes = 0``: inline threads, the deterministic mode the
+  in-process :class:`~repro.dist.cluster.LocalCluster` tests use.
+
+A heartbeat thread pings the coordinator every ``heartbeat_period``
+seconds; the *jobs* may take arbitrarily long (the coordinator's lease
+deadline, not the heartbeat, bounds them).  Exceptions raised by a job
+are caught and reported as failed results with the traceback text --
+the agent itself only dies on coordinator loss or :meth:`stop`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import traceback
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any
+
+from repro.dist import coordinator as coordinator_mod
+from repro.dist.protocol import (
+    ConnectionClosed,
+    ProtocolError,
+    dumps_payload,
+    loads_payload,
+    recv_message,
+    send_message,
+)
+
+DEFAULT_HEARTBEAT_PERIOD = 2.0
+
+
+def execute_job(payload: bytes) -> tuple[bool, Any]:
+    """Run one pickled ``(fn, arg)`` job; never raises.
+
+    Module-level so a process-pool worker can import it; the payload is
+    unpickled *inside* the executing process, which is also what makes
+    ``processes >= 1`` safe against jobs that wedge the interpreter.
+    Returns ``(ok, value-or-traceback-text)``.
+    """
+    try:
+        fn, arg = loads_payload(payload)
+        return True, fn(arg)
+    except BaseException:
+        return False, traceback.format_exc()
+
+
+class WorkerAgent:
+    """Connect to ``address`` and serve jobs until stopped.
+
+    ``processes`` selects the executor (see module docs); ``slots``
+    defaults to the executor width, i.e. the agent leases exactly as
+    many jobs as it can run concurrently.
+    """
+
+    def __init__(self, address: str, processes: int = 1,
+                 slots: int | None = None, name: str = "",
+                 heartbeat_period: float = DEFAULT_HEARTBEAT_PERIOD,
+                 connect_timeout: float = 10.0) -> None:
+        self.address = address
+        self.processes = max(0, processes)
+        self.slots = slots if slots is not None else max(1, self.processes)
+        self.name = name or f"worker-{id(self):x}"
+        self.heartbeat_period = heartbeat_period
+        self.connect_timeout = connect_timeout
+        self._sock: socket.socket | None = None
+        self._executor: Executor | None = None
+        self._send_lock = threading.Lock()
+        self._stopped = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.jobs_done = 0
+        self.jobs_failed = 0
+
+    # ------------------------------------------------------------------
+    # Executor plumbing
+    # ------------------------------------------------------------------
+    def _make_executor(self) -> Executor:
+        if self.processes >= 1:
+            return ProcessPoolExecutor(max_workers=self.processes)
+        return ThreadPoolExecutor(max_workers=max(1, self.slots),
+                                  thread_name_prefix="dist-inline")
+
+    def _submit(self, payload: bytes):
+        """Submit one job, respawning a broken process pool in place."""
+        assert self._executor is not None
+        try:
+            return self._executor.submit(execute_job, payload)
+        except RuntimeError:
+            # BrokenProcessPool (a prior job killed its child) leaves
+            # the executor unusable; recover like the local runner.
+            self._executor.shutdown(wait=False)
+            self._executor = self._make_executor()
+            return self._executor.submit(execute_job, payload)
+
+    # ------------------------------------------------------------------
+    # Wire plumbing
+    # ------------------------------------------------------------------
+    def _send(self, header: dict[str, Any],
+              payload: bytes | None = None) -> bool:
+        sock = self._sock
+        if sock is None:
+            return False
+        try:
+            with self._send_lock:
+                send_message(sock, header, payload)
+            return True
+        except OSError:
+            return False
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stopped.wait(self.heartbeat_period):
+            if not self._send({"type": "heartbeat"}):
+                return
+
+    def _on_job_done(self, job_id: str, attempt: int, future) -> None:
+        """Future callback: ship the result (or the traceback) back.
+        ``attempt`` is echoed so the coordinator can tell this result
+        apart from one for a different grant of the same job."""
+        retryable = False
+        payload: bytes | None = None
+        try:
+            ok, value = future.result()
+        except BaseException:
+            # The child process died under the job (os._exit, OOM-kill,
+            # segfault) rather than the job raising: the execution was
+            # *lost*, not completed, so let the coordinator retry it
+            # within the job's attempt budget -- innocent jobs sharing
+            # a broken pool come back this way too.
+            ok, value, retryable = False, traceback.format_exc(), True
+        if ok:
+            try:
+                payload = dumps_payload(value)
+            except Exception:
+                # Unpicklable result: a deterministic job defect, not a
+                # lost execution -- report it now instead of letting
+                # the lease expire with a misleading timeout error.
+                ok, value = False, traceback.format_exc()
+        if ok:
+            self.jobs_done += 1
+            self._send({"type": "result", "job_id": job_id,
+                        "attempt": attempt, "ok": True}, payload)
+        else:
+            self.jobs_failed += 1
+            self._send({"type": "result", "job_id": job_id,
+                        "attempt": attempt, "ok": False,
+                        "retryable": retryable, "error": str(value)})
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Connect and serve until coordinator loss or :meth:`stop`."""
+        self._sock = coordinator_mod.connect(
+            self.address, role="worker", name=self.name,
+            timeout=self.connect_timeout, slots=self.slots)
+        self._executor = self._make_executor()
+        heartbeat = threading.Thread(target=self._heartbeat_loop,
+                                     name="dist-heartbeat", daemon=True)
+        heartbeat.start()
+        try:
+            while not self._stopped.is_set():
+                header, payload = recv_message(self._sock)
+                kind = header["type"]
+                if kind == "job":
+                    job_id = str(header["job_id"])
+                    attempt = int(header.get("attempt", 1))
+                    future = self._submit(payload)
+                    future.add_done_callback(
+                        lambda f, job_id=job_id, attempt=attempt:
+                        self._on_job_done(job_id, attempt, f))
+                elif kind == "shutdown":
+                    break
+        except (ConnectionClosed, ProtocolError, OSError):
+            pass
+        finally:
+            self._teardown()
+
+    def start(self) -> "WorkerAgent":
+        """Serve on a daemon thread (the in-process cluster mode)."""
+        self._thread = threading.Thread(target=self.run, name="dist-worker",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful exit: close the socket, reap the executor."""
+        self._stopped.set()
+        self._teardown()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def kill(self) -> None:
+        """Abrupt death for tests: drop the socket without goodbye, so
+        the coordinator sees a mid-lease disconnect.  Jobs already in
+        the executor keep running but their results have nowhere to go
+        (exactly like a crashed host's would)."""
+        self._stopped.set()
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            sock.close()
+
+    def _teardown(self) -> None:
+        self._stopped.set()
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            # shutdown() before close(): closing alone does not wake a
+            # thread blocked in recv() on the same socket.
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)

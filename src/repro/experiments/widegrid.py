@@ -662,14 +662,89 @@ def run_widegrid_spec(spec: WideGridTrialSpec) -> dict[str, Any]:
 
 def run_widegrid_campaign(specs: Sequence[WideGridTrialSpec],
                           runner=None) -> list[dict[str, Any]]:
-    """Fan a mixed wide-grid campaign across the scenario runner's pool.
+    """Fan a mixed wide-grid campaign across a campaign runner's pool.
 
-    ``runner`` is a :class:`~repro.scenarios.runner.CampaignRunner` (a
-    fresh serial one is built when omitted); records come back in spec
-    order, so campaign output digests deterministically.
+    ``runner`` is anything with the ``map_jobs(fn, jobs)`` contract --
+    the local :class:`~repro.scenarios.runner.CampaignRunner` (a fresh
+    serial one is built when omitted) or a
+    :class:`~repro.dist.runner.DistributedCampaignRunner` pointed at a
+    coordinator, since the specs are plain picklable values.  Records
+    come back in spec order, so campaign output digests
+    deterministically either way.
     """
     if runner is None:
         from repro.scenarios.runner import CampaignRunner
 
         runner = CampaignRunner(parallel=False)
     return runner.map_jobs(run_widegrid_spec, list(specs))
+
+
+def default_campaign_specs(n_nodes: int = 24, seeds: Sequence[int] = (1, 2),
+                           duration_sec: float = 12.0,
+                           ) -> list[WideGridTrialSpec]:
+    """The stock mixed campaign the CLI (and the smoke job) runs: one
+    failover trial with a mid-run primary crash, one BQP placement
+    study and one RT-Link lifetime study per seed."""
+    specs: list[WideGridTrialSpec] = []
+    for seed in seeds:
+        base = WideGridConfig(n_nodes=n_nodes, seed=seed,
+                              duration_sec=duration_sec)
+        specs.append(WideGridTrialSpec(
+            kind="failover",
+            config=dataclasses.replace(
+                base, crash_primary_at_sec=duration_sec / 3.0)))
+        specs.append(WideGridTrialSpec(kind="placement", config=base))
+        specs.append(WideGridTrialSpec(kind="mac", config=base,
+                                       protocol="rtlink"))
+    return specs
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.experiments.widegrid``: run the stock wide-grid
+    campaign locally or, with ``--dist host:port``, through a
+    distributed coordinator -- the specs themselves are identical."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=main.__doc__)
+    parser.add_argument("--n-nodes", type=int, default=24)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
+    parser.add_argument("--duration", type=float, default=12.0)
+    parser.add_argument("--dist", default=None, metavar="HOST:PORT",
+                        help="route the campaign through a repro.dist "
+                             "coordinator instead of local processes")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="local pool width (ignored with --dist)")
+    parser.add_argument("--out", default=None,
+                        help="write the records to this JSON file")
+    args = parser.parse_args(argv)
+
+    specs = default_campaign_specs(n_nodes=args.n_nodes, seeds=args.seeds,
+                                   duration_sec=args.duration)
+    if args.dist:
+        from repro.dist.runner import DistributedCampaignRunner
+
+        with DistributedCampaignRunner(args.dist) as runner:
+            records = run_widegrid_campaign(specs, runner=runner)
+    else:
+        from repro.scenarios.runner import CampaignRunner
+
+        with CampaignRunner(max_workers=args.workers,
+                            parallel=args.workers != 0) as runner:
+            records = run_widegrid_campaign(specs, runner=runner)
+    for record in records:
+        result = record["result"]
+        headline = {k: result[k] for k in
+                    ("delivery_ratio", "failovers_executed",
+                     "degradation_pct", "lifetime_years")
+                    if k in result}
+        print(f"{record['trial']:<40} {headline}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(records, fh, indent=2, sort_keys=True)
+        print(f"wrote {len(records)} records to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -86,11 +86,18 @@ def _reap_pool(pool: ProcessPoolExecutor) -> None:
 
 @dataclass
 class CampaignResult:
-    """Everything a finished campaign produced."""
+    """Everything a finished campaign produced.
+
+    ``failed`` is only populated by runners that can lose individual
+    jobs without aborting the campaign (the distributed runner's
+    bounded-retry path); the local pool either completes a grid or
+    raises.
+    """
 
     records: list[dict[str, Any]] = field(default_factory=list)
     summary: dict[str, Any] = field(default_factory=dict)
     store_root: str | None = None
+    failed: list[dict[str, Any]] = field(default_factory=list)
 
     def metrics(self) -> list[dict[str, Any]]:
         return [record["metrics"] for record in self.records]
@@ -159,7 +166,8 @@ class CampaignRunner:
             return max(1, self.chunksize)
         return max(1, n_jobs // (self.max_workers * 4))
 
-    def map_jobs(self, fn, jobs: Sequence[Any]) -> list[Any]:
+    def map_jobs(self, fn, jobs: Sequence[Any],
+                 on_result=None) -> list[Any]:
         """Fan arbitrary picklable jobs across the persistent pool.
 
         The generic face of the runner: ``fn`` must be a module-level
@@ -167,13 +175,28 @@ class CampaignRunner:
         drivers use this to share the scenario subsystem's pool,
         chunking and respawn machinery).  Results preserve job order;
         serial runners map in-process.
+
+        ``on_result(index, result)`` is an optional progress callback
+        fired once per completed job.  The local pool fires it in job
+        order (``map`` preserves submission order); the distributed
+        runner, which shares this signature, fires it in completion
+        order -- treat the index, not the call order, as the identity.
         """
         if not self.parallel:
-            return [fn(job) for job in jobs]
-        return list(self._executor().map(
-            fn, jobs, chunksize=self._chunksize_for(len(jobs))))
+            stream = map(fn, jobs)
+        else:
+            stream = self._executor().map(
+                fn, jobs, chunksize=self._chunksize_for(len(jobs)))
+        if on_result is None:
+            return list(stream)
+        results = []
+        for index, result in enumerate(stream):
+            results.append(result)
+            on_result(index, result)
+        return results
 
-    def run(self, scenarios: Sequence[Scenario]) -> CampaignResult:
+    def run(self, scenarios: Sequence[Scenario],
+            on_result=None) -> CampaignResult:
         jobs = [(f"{i:03d}_{_slug(s.name)}_s{s.seed}", s)
                 for i, s in enumerate(scenarios)]
         store = None
@@ -184,6 +207,7 @@ class CampaignRunner:
             # Leftovers from an interrupted earlier process must not mix
             # into this campaign's staged set.
             store.discard_staged()
+            store.begin_staging()
         if self.parallel:
             stream = self._executor().map(
                 _run_record, jobs, chunksize=self._chunksize_for(len(jobs)))
@@ -195,6 +219,8 @@ class CampaignRunner:
                 records.append(record)
                 if store is not None:
                     store.stage_run(record["run_id"], record)
+                if on_result is not None:
+                    on_result(record)
         except BaseException:
             # The previously persisted campaign stays untouched.
             if store is not None:
@@ -229,7 +255,14 @@ def _stats(values: list[float]) -> dict[str, float] | None:
 
 
 def summarize(records: list[dict[str, Any]]) -> dict[str, Any]:
-    """Per-scenario aggregate statistics over a campaign's records."""
+    """Per-scenario aggregate statistics over a campaign's records.
+
+    Failed-run records (the distributed runner commits these with an
+    ``error`` key instead of ``metrics``) are skipped, so re-summarizing
+    ``ResultsStore.load_runs()`` output stays well-defined after a
+    partially-failed distributed campaign.
+    """
+    records = [r for r in records if "error" not in r]
     by_scenario: dict[str, list[dict[str, Any]]] = {}
     for record in records:
         by_scenario.setdefault(record["metrics"]["scenario"],

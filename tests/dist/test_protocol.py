@@ -1,0 +1,153 @@
+"""Framing unit tests: pack/recv round-trips, malformed-frame guards."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.dist.protocol import (
+    ConnectionClosed,
+    ProtocolError,
+    dumps_payload,
+    loads_payload,
+    pack_blob_list,
+    pack_message,
+    parse_address,
+    recv_message,
+    send_message,
+    unpack_blob_list,
+)
+
+
+def _pipe() -> tuple[socket.socket, socket.socket]:
+    return socket.socketpair()
+
+
+def test_roundtrip_header_only():
+    a, b = _pipe()
+    send_message(a, {"type": "heartbeat"})
+    header, payload = recv_message(b)
+    assert header == {"type": "heartbeat"}
+    assert payload == b""
+    a.close(), b.close()
+
+
+def test_roundtrip_header_and_payload():
+    a, b = _pipe()
+    value = {"metrics": [1.5, 2.5], "name": "run"}
+    send_message(a, {"type": "result", "job_id": "j1", "ok": True},
+                 dumps_payload(value))
+    header, payload = recv_message(b)
+    assert header["job_id"] == "j1"
+    assert loads_payload(payload) == value
+    a.close(), b.close()
+
+
+def test_multiple_frames_stream_in_order():
+    a, b = _pipe()
+    for i in range(5):
+        send_message(a, {"type": "job", "seq": i})
+    for i in range(5):
+        header, _ = recv_message(b)
+        assert header["seq"] == i
+    a.close(), b.close()
+
+
+def test_eof_mid_frame_raises_connection_closed():
+    a, b = _pipe()
+    frame = pack_message({"type": "job"}, b"x" * 100)
+    a.sendall(frame[: len(frame) // 2])
+    a.close()
+    with pytest.raises(ConnectionClosed):
+        recv_message(b)
+    b.close()
+
+
+def test_eof_between_frames_raises_connection_closed():
+    a, b = _pipe()
+    a.close()
+    with pytest.raises(ConnectionClosed):
+        recv_message(b)
+    b.close()
+
+
+def test_implausible_length_prefix_rejected():
+    a, b = _pipe()
+    a.sendall((2 ** 31).to_bytes(4, "big"))
+    with pytest.raises(ProtocolError):
+        recv_message(b)
+    a.close(), b.close()
+
+
+def test_header_must_be_json_object_with_type():
+    a, b = _pipe()
+    head = b"[1,2,3]"
+    body = len(head).to_bytes(4, "big") + head
+    a.sendall((len(body)).to_bytes(4, "big") + body)
+    with pytest.raises(ProtocolError):
+        recv_message(b)
+    a.close(), b.close()
+
+
+def test_header_length_cannot_exceed_frame():
+    a, b = _pipe()
+    body = (1000).to_bytes(4, "big") + b"{}"
+    a.sendall(len(body).to_bytes(4, "big") + body)
+    with pytest.raises(ProtocolError):
+        recv_message(b)
+    a.close(), b.close()
+
+
+def test_large_payload_roundtrip_threaded():
+    """A payload bigger than any single recv() chunk reassembles."""
+    a, b = _pipe()
+    blob = bytes(range(256)) * 40_000  # ~10 MB
+    received = {}
+
+    def reader():
+        received["frame"] = recv_message(b)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    send_message(a, {"type": "result"}, blob)
+    thread.join(timeout=30)
+    header, payload = received["frame"]
+    assert header == {"type": "result"}
+    assert payload == blob
+    a.close(), b.close()
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("127.0.0.1:7461", ("127.0.0.1", 7461)),
+    ("example.org:80", ("example.org", 80)),
+    ("myhost", ("myhost", 7461)),
+    (":9000", ("127.0.0.1", 9000)),
+    ("::1", ("::1", 7461)),
+    ("[::1]:9000", ("::1", 9000)),
+    ("[fe80::2]", ("fe80::2", 7461)),
+])
+def test_parse_address(text, expected):
+    assert parse_address(text) == expected
+
+
+def test_parse_address_rejects_unterminated_bracket():
+    with pytest.raises(ValueError):
+        parse_address("[::1:9000")
+
+
+@pytest.mark.parametrize("blobs", [
+    [],
+    [b""],
+    [b"a"],
+    [b"one", b"", b"three" * 1000],
+])
+def test_blob_list_roundtrip(blobs):
+    assert unpack_blob_list(pack_blob_list(blobs)) == blobs
+
+
+def test_blob_list_rejects_truncation():
+    packed = pack_blob_list([b"hello", b"world"])
+    with pytest.raises(ProtocolError):
+        unpack_blob_list(packed[:-2])
+    with pytest.raises(ProtocolError):
+        unpack_blob_list(packed + b"\x00\x00")
