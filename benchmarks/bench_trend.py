@@ -14,7 +14,10 @@ better; a regression is a drop below ``prior * (1 - tolerance)``) and
 regression is a rise above ``prior * (1 + tolerance)``).
 
 Meters that first appear in a snapshot have no prior to compare against
-and are reported as new.  Exit status: 0 = trend holds, 1 = regression.
+and are reported as new.  Snapshots that carry an ``obs_overhead`` table
+(``hotpath.py --obs-overhead``) are additionally held to the telemetry
+budget: a meter whose telemetry-on overhead exceeds 10% fails the gate.
+Exit status: 0 = trend holds, 1 = regression.
 
 Run it the way CI does::
 
@@ -33,6 +36,8 @@ from pathlib import Path
 from meters import is_duration_meter
 
 DEFAULT_TOLERANCE = 0.20
+OBS_OVERHEAD_BUDGET_PCT = 10.0
+"""Max telemetry-on rate loss per hot meter (the acceptance budget)."""
 
 _SNAPSHOT_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
@@ -79,6 +84,26 @@ def check_trend(snapshots: list[tuple[int, dict]],
     return failures
 
 
+def check_obs_overhead(snapshots: list[tuple[int, dict]],
+                       budget_pct: float = OBS_OVERHEAD_BUDGET_PCT,
+                       ) -> list[str]:
+    """Telemetry-budget violations in the latest ``obs_overhead`` table."""
+    carrying = [(n, s) for n, s in snapshots if s.get("obs_overhead")]
+    if not carrying:
+        return []
+    number, snapshot = carrying[-1]
+    failures = []
+    for meter, row in sorted(snapshot["obs_overhead"].items()):
+        overhead = float(row.get("overhead_pct", 0.0))
+        if overhead > budget_pct:
+            failures.append(
+                f"{meter}: BENCH_{number} telemetry-on overhead "
+                f"{overhead:.2f}% exceeds the {budget_pct:.0f}% budget "
+                f"(off {row.get('off', 0):,.0f}/s, "
+                f"on {row.get('on', 0):,.0f}/s)")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=None,
@@ -97,6 +122,7 @@ def main(argv: list[str] | None = None) -> int:
     names = ", ".join(f"BENCH_{n}" for n, _ in snapshots)
     print(f"bench-trend: {len(snapshots)} snapshot(s): {names}")
     failures = check_trend(snapshots, args.tolerance)
+    failures += check_obs_overhead(snapshots)
     seen: set[str] = set()
     for number, snapshot in snapshots:
         for meter, rate in sorted(snapshot.get("optimized", {}).items()):
@@ -104,6 +130,10 @@ def main(argv: list[str] | None = None) -> int:
             unit = " s " if is_duration_meter(meter) else "/s"
             print(f"  BENCH_{number} {meter:<28} {rate:>14,.1f}{unit}{tag}")
             seen.add(meter)
+        for meter, row in sorted((snapshot.get("obs_overhead")
+                                  or {}).items()):
+            print(f"  BENCH_{number} obs:{meter:<27} "
+                  f"{row.get('overhead_pct', 0.0):>6.2f}% overhead")
     if failures:
         print("bench-trend: REGRESSION")
         for failure in failures:

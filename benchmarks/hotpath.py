@@ -15,8 +15,12 @@ snapshot so the perf trajectory of the repo is tracked across PRs::
     PYTHONPATH=src python benchmarks/hotpath.py --label optimized
 
 Each invocation merges its numbers under the given label into the
-snapshot file (default ``BENCH_4.json`` at the repo root) and, when both
+snapshot file (default ``BENCH_6.json`` at the repo root) and, when both
 ``baseline`` and ``optimized`` are present, computes the speedup table.
+``--obs-overhead`` additionally re-measures the hottest meters with
+``repro.obs`` telemetry enabled and records the off/on overhead table
+the trend gate holds to a 10% budget; ``--json`` echoes the updated
+snapshot to stdout.
 
 Meter naming convention (``bench_trend.py`` relies on it): ``*_per_sec``
 meters are rates where higher is better; ``*_sec`` meters are durations
@@ -33,6 +37,7 @@ import argparse
 import json
 import platform
 import random
+import subprocess
 import time
 from pathlib import Path
 
@@ -374,6 +379,22 @@ METRICS = {
 }
 
 
+OBS_OVERHEAD_METERS = (
+    "events_per_sec",
+    "process_resumes_per_sec",
+    "vm_instructions_per_sec",
+    "frames_per_sec",
+    "plant_steps_per_sec",
+)
+"""The hot meters re-measured telemetry-on for the overhead table.
+
+Each bench builds its instrumented objects inside the measured call, so
+flipping ``repro.obs`` on before re-running the same function measures
+exactly the bound-meter path the acceptance budget (<=10% per meter)
+constrains.
+"""
+
+
 def run_all() -> dict[str, float]:
     results = {}
     for name, fn in METRICS.items():
@@ -387,36 +408,89 @@ def run_all() -> dict[str, float]:
     return results
 
 
+def run_obs_overhead() -> dict[str, dict[str, float]]:
+    """Measure the telemetry-on cost of the hottest meters.
+
+    Returns ``{meter: {"off": rate, "on": rate, "overhead_pct": pct}}``
+    where ``overhead_pct`` is the rate lost with a live registry
+    (positive = slower with telemetry); ``bench_trend.py`` fails the
+    gate when any row exceeds 10%.
+    """
+    import repro.obs as obs
+
+    rows: dict[str, dict[str, float]] = {}
+    for name in OBS_OVERHEAD_METERS:
+        fn = METRICS[name]
+        obs.disable()
+        off = fn()
+        obs.enable(obs.MetricsRegistry())
+        try:
+            on = fn()
+        finally:
+            obs.disable()
+        overhead = (off - on) / off * 100.0 if off else 0.0
+        rows[name] = {"off": round(off, 1), "on": round(on, 1),
+                      "overhead_pct": round(overhead, 2)}
+        print(f"  {name:<28} off {off:>14,.0f}  on {on:>14,.0f}  "
+              f"overhead {overhead:>6.2f}%")
+    return rows
+
+
+def _git_commit() -> str:
+    """Best-effort commit id for the snapshot's host stanza."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent, capture_output=True,
+            text=True, timeout=10).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return ""
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", default="optimized",
                         choices=("baseline", "optimized"),
                         help="which side of the comparison this run records")
     parser.add_argument("--out", default=None,
-                        help="snapshot path (default: <repo>/BENCH_5.json)")
+                        help="snapshot path (default: <repo>/BENCH_6.json)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full updated snapshot as JSON on "
+                             "stdout (for CI log capture / scripting)")
+    parser.add_argument("--obs-overhead", action="store_true",
+                        help="also measure the hot meters with repro.obs "
+                             "telemetry enabled and record the off/on "
+                             "overhead table")
     args = parser.parse_args()
 
     out = Path(args.out) if args.out else \
-        Path(__file__).resolve().parent.parent / "BENCH_5.json"
+        Path(__file__).resolve().parent.parent / "BENCH_6.json"
     snapshot = json.loads(out.read_text()) if out.exists() else {
-        "bench": 5,
+        "bench": 6,
         "description": ("Hot-path microbenchmark snapshot: Engine event "
                         "dispatch, Process resumes, EVM interpretation, "
                         "Medium frame resolution, campaign sweep "
                         "throughput (local pool and distributed "
                         "coordinator/worker cluster), plant stepping, "
-                        "trace recording and the 100-node wide-grid "
-                        "trial (benchmarks/hotpath.py)"),
+                        "trace recording, the 100-node wide-grid trial "
+                        "and the repro.obs telemetry-on overhead table "
+                        "(benchmarks/hotpath.py)"),
     }
     snapshot["host"] = {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "machine": platform.machine(),
         "system": platform.system(),
+        "node": platform.node(),
+        "commit": _git_commit(),
     }
 
     print(f"hotpath benchmarks ({args.label}):")
     snapshot[args.label] = run_all()
+
+    if args.obs_overhead:
+        print("telemetry-on overhead (repro.obs):")
+        snapshot["obs_overhead"] = run_obs_overhead()
 
     if "baseline" in snapshot and "optimized" in snapshot:
         # Rates improve upward (optimized/baseline); durations improve
@@ -436,6 +510,8 @@ def main() -> None:
 
     out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
 
 
 if __name__ == "__main__":

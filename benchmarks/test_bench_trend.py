@@ -2,7 +2,8 @@
 
 import json
 
-from bench_trend import check_trend, load_snapshots, main
+from bench_trend import (check_obs_overhead, check_trend, load_snapshots,
+                         main)
 
 
 def _write(root, number, optimized):
@@ -46,6 +47,31 @@ def test_new_meter_has_no_prior():
     snapshots = [(1, {"optimized": {"m": 100.0}}),
                  (2, {"optimized": {"m": 100.0, "fresh": 1.0}})]
     assert check_trend(snapshots) == []
+
+
+def test_obs_overhead_within_budget_passes():
+    snapshots = [(6, {"optimized": {"m": 1.0},
+                      "obs_overhead": {"m": {"off": 100.0, "on": 95.0,
+                                             "overhead_pct": 5.0}}})]
+    assert check_obs_overhead(snapshots) == []
+    assert check_obs_overhead([(1, {"optimized": {"m": 1.0}})]) == []
+
+
+def test_obs_overhead_beyond_budget_fails():
+    snapshots = [(6, {"optimized": {"m": 1.0},
+                      "obs_overhead": {"m": {"off": 100.0, "on": 80.0,
+                                             "overhead_pct": 20.0}}})]
+    failures = check_obs_overhead(snapshots)
+    assert len(failures) == 1
+    assert "20.00%" in failures[0] and "10% budget" in failures[0]
+
+
+def test_obs_overhead_judged_on_latest_table_only():
+    # An old over-budget table superseded by a healthy one must pass:
+    # the budget constrains the current instrumentation, not history.
+    snapshots = [(5, {"obs_overhead": {"m": {"overhead_pct": 30.0}}}),
+                 (6, {"obs_overhead": {"m": {"overhead_pct": 3.0}}})]
+    assert check_obs_overhead(snapshots) == []
 
 
 def test_duration_meter_regression_is_a_rise():

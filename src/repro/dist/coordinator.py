@@ -81,6 +81,9 @@ class JobRecord:
     client_id: int
     max_attempts: int
     attempts: int = 0
+    # When the job entered the queue (monotonic); the gap to its first
+    # lease grant is the queue-wait the status stream reports.
+    submitted_at: float = 0.0
     # Workers that already lost/timed out this job: retries prefer
     # anyone else (falling back to them only when nobody else has a
     # free slot, so exclusion can never starve a job).
@@ -146,6 +149,10 @@ class _Worker(_Peer):
         self.slots = max(1, slots)
         self.inflight: set[str] = set()
         self.last_seen = time.monotonic()
+        # Lease-latency health: grants and cumulative queue-wait of the
+        # jobs granted to this worker.
+        self.leases_granted = 0
+        self.lease_wait_total = 0.0
 
 
 class _Client(_Peer):
@@ -155,6 +162,15 @@ class _Client(_Peer):
         self.completed = 0
         self.failed = 0
         self.batches = 0
+        # Status-stream subscription (set by a "subscribe" frame).  The
+        # broadcaster thread pushes "status_update" frames at
+        # ``subscribe_period`` while ``subscribed``.
+        self.subscribed = False
+        self.subscribe_period = 1.0
+        self.last_push = 0.0
+        # When the current batch's first jobs arrived: progress rate and
+        # ETA are measured against this origin.
+        self.batch_started = 0.0
 
 
 @dataclass
@@ -167,6 +183,9 @@ class CoordinatorStats:
     jobs_requeued: int = 0
     workers_dropped: int = 0
     results_ignored: int = 0
+    # Trace-ring rows evicted inside completed runs (reported by the
+    # workers per result frame): silent data loss made visible.
+    trace_dropped: int = 0
 
 
 class Coordinator:
@@ -215,7 +234,8 @@ class Coordinator:
             return self
         self._started = True
         for target, name in ((self._accept_loop, "dist-accept"),
-                             (self._reaper_loop, "dist-reaper")):
+                             (self._reaper_loop, "dist-reaper"),
+                             (self._stream_loop, "dist-status-stream")):
             thread = threading.Thread(target=target, name=name, daemon=True)
             thread.start()
             self._threads.append(thread)
@@ -310,7 +330,9 @@ class Coordinator:
                                     bool(header["ok"]),
                                     header.get("error"), payload,
                                     retryable=bool(header.get("retryable")),
-                                    attempt=int(header.get("attempt", 0)))
+                                    attempt=int(header.get("attempt", 0)),
+                                    trace_dropped=int(
+                                        header.get("trace_dropped", 0)))
                 elif kind == "goodbye":
                     break
         except (ConnectionClosed, ProtocolError, OSError,
@@ -328,6 +350,18 @@ class Coordinator:
                     self._on_submit(client, header, payload)
                 elif kind == "status":
                     client.send({"type": "status", "status": self.status()})
+                elif kind == "subscribe":
+                    try:
+                        period = float(header.get("period", 1.0))
+                    except (TypeError, ValueError):
+                        period = 1.0
+                    client.subscribe_period = max(0.1, period)
+                    client.last_push = 0.0
+                    client.subscribed = True
+                    client.send({"type": "subscribed",
+                                 "period": client.subscribe_period})
+                elif kind == "unsubscribe":
+                    client.subscribed = False
                 elif kind == "shutdown":
                     # Stop first (so the requester observes a stopped
                     # broker the moment its ack/EOF arrives), then ack
@@ -358,18 +392,21 @@ class Coordinator:
                          "error": "job_ids/payload length mismatch"})
             return
         max_attempts = int(header.get("max_attempts", self.max_attempts))
+        now = time.monotonic()
         with self._lock:
             if not client.outstanding:
                 # A fresh batch on a reused connection: the done-frame
                 # counters describe one batch, not the connection's life.
                 client.completed = client.failed = 0
+                client.batch_started = now
             client.batches += 1
             prefix = f"c{client.id}b{client.batches}"
             for job_id, blob in zip(job_ids, blobs):
                 record = JobRecord(key=f"{prefix}:{job_id}",
                                    job_id=job_id, payload=blob,
                                    client_id=client.id,
-                                   max_attempts=max(1, max_attempts))
+                                   max_attempts=max(1, max_attempts),
+                                   submitted_at=now)
                 self._jobs[record.key] = record
                 self._pending.append(record)
                 client.outstanding.add(record.key)
@@ -406,9 +443,12 @@ class Coordinator:
                 self._pending.popleft()
                 job.attempts += 1
                 worker.inflight.add(job.key)
+                now = time.monotonic()
+                worker.leases_granted += 1
+                worker.lease_wait_total += max(0.0, now - job.submitted_at)
                 self._leases[job.key] = Lease(
                     job=job, worker_id=worker.id,
-                    deadline=time.monotonic() + self.lease_timeout,
+                    deadline=now + self.lease_timeout,
                     attempt=job.attempts)
             sent = worker.send({"type": "job", "job_id": job.key,
                                 "attempt": job.attempts}, job.payload)
@@ -417,7 +457,8 @@ class Coordinator:
 
     def _on_result(self, worker: _Worker, key: str, ok: bool,
                    error: str | None, payload: bytes,
-                   retryable: bool = False, attempt: int = 0) -> None:
+                   retryable: bool = False, attempt: int = 0,
+                   trace_dropped: int = 0) -> None:
         delivery: Callable[[], None] | None = None
         settled = False
         with self._lock:
@@ -450,6 +491,8 @@ class Coordinator:
                 self._settle_locked(job)
                 worker.inflight.discard(key)
                 settled = True
+                if ok and trace_dropped > 0:
+                    self.stats.trace_dropped += trace_dropped
         if settled:
             self._deliver(job, ok, error, payload)
         elif delivery is not None:
@@ -597,21 +640,77 @@ class Coordinator:
                 self._dispatch()
 
     # ------------------------------------------------------------------
+    # Status stream: push "status_update" frames to subscribed clients
+    # ------------------------------------------------------------------
+    def _stream_loop(self) -> None:
+        """Broadcast the status snapshot to subscribers at their
+        requested periods.  One snapshot is shared per tick (a dozen
+        subscribers must not take the state lock a dozen times);
+        sends happen outside the lock and a failed push just marks the
+        peer unsubscribed -- its reader thread owns the teardown."""
+        while not self._stopped.wait(0.25):
+            now = time.monotonic()
+            with self._lock:
+                due = [c for c in self._clients.values()
+                       if c.subscribed and c.alive
+                       and now - c.last_push >= c.subscribe_period]
+            if not due:
+                continue
+            snapshot = self.status()
+            for client in due:
+                client.last_push = now
+                if not client.send({"type": "status_update",
+                                    "status": snapshot}):
+                    client.subscribed = False
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def status(self) -> dict[str, Any]:
-        """JSON-able snapshot (the CLI status line and tests read it)."""
+        """JSON-able snapshot (the CLI status line, the status stream,
+        the obs bridge and tests read it).
+
+        ``workers``/``clients``/``stats`` keep their original shapes
+        (tests index into them); worker entries gain health fields and
+        ``campaigns`` adds per-client batch progress with a completion
+        rate and ETA measured from the batch's first submit.
+        """
+        now = time.monotonic()
         with self._lock:
+            campaigns = []
+            for c in sorted(self._clients.values(), key=lambda c: c.id):
+                settled = c.completed + c.failed
+                if not (c.outstanding or settled):
+                    continue  # idle control connections are not campaigns
+                elapsed = max(1e-9, now - c.batch_started)
+                rate = settled / elapsed if c.batch_started else 0.0
+                campaigns.append({
+                    "client_id": c.id, "name": c.name,
+                    "outstanding": len(c.outstanding),
+                    "completed": c.completed, "failed": c.failed,
+                    "batches": c.batches,
+                    "rate_per_sec": rate,
+                    "eta_sec": (len(c.outstanding) / rate
+                                if rate > 0 and c.outstanding else None),
+                })
             return {
                 "address": self.address,
                 "pending": len(self._pending),
                 "leased": len(self._leases),
                 "workers": [
                     {"id": w.id, "name": w.name, "slots": w.slots,
-                     "inflight": len(w.inflight)}
+                     "inflight": len(w.inflight),
+                     "last_seen_age_sec": max(0.0, now - w.last_seen),
+                     "leases_granted": w.leases_granted,
+                     "lease_wait_avg_sec": (
+                         w.lease_wait_total / w.leases_granted
+                         if w.leases_granted else 0.0)}
                     for w in sorted(self._workers.values(),
                                     key=lambda w: w.id)],
                 "clients": len(self._clients),
+                "subscribers": sum(1 for c in self._clients.values()
+                                   if c.subscribed),
+                "campaigns": campaigns,
                 "stats": dict(self.stats.__dict__),
             }
 

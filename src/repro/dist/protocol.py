@@ -22,6 +22,14 @@ error in the stream itself.
 Security note: pickle payloads execute code on unpickling, so the
 protocol is for trusted clusters (localhost, a lab LAN, your own
 fleet) -- the same trust boundary as the local process pool.
+
+Frame types (the ``type`` field of every header) are enumerated as
+module constants below.  Clients drive ``submit``/``status``/
+``shutdown``/``goodbye`` and may opt into the live status stream with
+``subscribe`` (acked by ``subscribed``; pushed frames are
+``status_update`` at the subscriber's requested period until
+``unsubscribe`` or disconnect).  Workers speak ``heartbeat``/``result``
+and receive ``job``/``shutdown``.
 """
 
 from __future__ import annotations
@@ -38,6 +46,26 @@ MAX_FRAME_BYTES = 256 * 1024 * 1024
 DEFAULT_PORT = 7461
 """The coordinator's default TCP port (single source: the CLI, the
 broker and address parsing all import it from here)."""
+
+# Frame types, client-driven ...
+MSG_HELLO = "hello"
+MSG_SUBMIT = "submit"
+MSG_STATUS = "status"
+MSG_SUBSCRIBE = "subscribe"
+MSG_UNSUBSCRIBE = "unsubscribe"
+MSG_SHUTDOWN = "shutdown"
+MSG_GOODBYE = "goodbye"
+# ... coordinator-driven ...
+MSG_WELCOME = "welcome"
+MSG_SUBSCRIBED = "subscribed"
+MSG_STATUS_UPDATE = "status_update"
+MSG_JOB = "job"
+MSG_RESULT = "result"
+MSG_DONE = "done"
+MSG_STOPPING = "stopping"
+MSG_ERROR = "error"
+# ... worker-driven.
+MSG_HEARTBEAT = "heartbeat"
 
 _LEN = struct.Struct(">I")
 

@@ -222,9 +222,18 @@ class DistributedCampaignRunner:
             store = ResultsStore(self.results_dir)
             store.discard_staged()
             store.begin_staging()
+        obs_rows: list[dict[str, Any]] = []
 
         def stream(index: int, ok: bool, value: Any) -> None:
             if ok:
+                # Workers with telemetry enabled (REPRO_OBS=1 in their
+                # environment) attach a transient "obs" delta; strip it
+                # before staging so records stay byte-identical to
+                # obs-off runs, and route it to metrics.jsonl instead.
+                obs_row = value.pop("obs", None)
+                if obs_row is not None:
+                    obs_rows.append({"run_id": value["run_id"],
+                                     "metrics": obs_row})
                 if store is not None:
                     store.stage_run(value["run_id"], value)
                 if on_result is not None:
@@ -247,11 +256,14 @@ class DistributedCampaignRunner:
             failed.append(failure)
             if store is not None:
                 store.stage_run(run_id, failure)
+        # Failure records ride into summarize() so failed_runs reflects
+        # them; aggregates still cover completed runs only.
         result = CampaignResult(records=records,
-                                summary=summarize(records),
+                                summary=summarize(records + failed),
                                 failed=failed)
         if store is not None:
             store.commit_staged()
             store.save_summary(result.summary)
+            store.save_metrics_jsonl(obs_rows)
             result.store_root = str(store.root)
         return result

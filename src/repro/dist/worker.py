@@ -57,6 +57,15 @@ def execute_job(payload: bytes) -> tuple[bool, Any]:
         return False, traceback.format_exc()
 
 
+def _trace_dropped(value: Any) -> int:
+    """Rows the run's bounded ``Trace`` ring evicted, when the result
+    is a campaign run record; 0 for arbitrary ``map_jobs`` values."""
+    try:
+        return int(value["metrics"]["trace_dropped"])
+    except (TypeError, KeyError, ValueError, IndexError):
+        return 0
+
+
 class WorkerAgent:
     """Connect to ``address`` and serve jobs until stopped.
 
@@ -149,8 +158,15 @@ class WorkerAgent:
                 ok, value = False, traceback.format_exc()
         if ok:
             self.jobs_done += 1
-            self._send({"type": "result", "job_id": job_id,
-                        "attempt": attempt, "ok": True}, payload)
+            header = {"type": "result", "job_id": job_id,
+                      "attempt": attempt, "ok": True}
+            dropped = _trace_dropped(value)
+            if dropped:
+                # Silent-data-loss visibility: the coordinator folds
+                # this into its status stats (the payload is opaque to
+                # it, so the worker surfaces the counter here).
+                header["trace_dropped"] = dropped
+            self._send(header, payload)
         else:
             self.jobs_failed += 1
             self._send({"type": "result", "job_id": job_id,

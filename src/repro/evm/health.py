@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import instrument
 from repro.sim.clock import SEC
 
 
@@ -54,6 +55,7 @@ class OutputPlausibilityMonitor:
         self.anomalies: list[Anomaly] = []
         self._last_time: int | None = None
         self._last_value: float | None = None
+        self._obs = instrument.health_meters()
 
     def observe(self, time: int, value: float,
                 expected: float | None = None) -> bool:
@@ -74,6 +76,8 @@ class OutputPlausibilityMonitor:
         self.consecutive += 1
         if self.consecutive >= self.threshold and not self.confirmed:
             self.confirmed = True
+            if self._obs is not None:
+                self._obs.faults_confirmed.inc()
             return True
         return False
 
@@ -113,6 +117,7 @@ class HeartbeatMonitor:
         self.timeout_ticks = timeout_ticks
         self.last_beat: int | None = None
         self.missed_checks = 0
+        self._obs = instrument.health_meters()
 
     def beat(self, time: int) -> None:
         self.last_beat = time
@@ -124,4 +129,6 @@ class HeartbeatMonitor:
         silent = now - self.last_beat > self.timeout_ticks
         if silent:
             self.missed_checks += 1
+            if self._obs is not None:
+                self._obs.silences.inc()
         return silent

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.evm.bytecode import Opcode, Program, fold_constants
+from repro.obs import instrument
 
 CYCLES_PER_INSTRUCTION = 80
 """Calibration: interpreted instructions cost ~80 AVR cycles each (Mate
@@ -803,6 +804,9 @@ class Interpreter:
         # alias a different live program.
         self._compiled: dict[int, tuple[Program, list[tuple], list[tuple]]] = {}
         self.total_steps = 0
+        # Metered at execute() granularity only -- the threaded-code
+        # dispatch loop must never see a per-instruction hook.
+        self._obs = instrument.vm_meters()
 
     # ------------------------------------------------------------------
     # Runtime extensibility
@@ -874,7 +878,17 @@ class Interpreter:
             state = VmState(routine=program.name)
         context.state = state
         budget = max_steps if max_steps is not None else self.max_steps
-        self._run(context, state.steps + budget, pause_on_budget)
+        if self._obs is None:
+            self._run(context, state.steps + budget, pause_on_budget)
+            return state
+        before = state.steps
+        try:
+            self._run(context, state.steps + budget, pause_on_budget)
+        except VmError:
+            self._obs.faults.inc()
+            self._obs.instructions.inc(state.steps - before)
+            raise
+        self._obs.instructions.inc(state.steps - before)
         return state
 
     def estimated_cycles(self, state: VmState) -> int:

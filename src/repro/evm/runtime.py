@@ -47,9 +47,10 @@ from repro.evm.object_transfer import (
 from repro.evm.tasks import LogicalTask
 from repro.evm.virtual_component import VcMember, VirtualComponent
 from repro.net.packet import BROADCAST, Packet
+from repro.obs import instrument
 from repro.rtos.kernel import AdmissionRefused, NanoRK
 from repro.rtos.task import TaskSpec, Tcb
-from repro.sim.clock import MS
+from repro.sim.clock import MS, SEC
 from repro.sim.trace import Trace
 
 EVM_TASK_NAME = "EVM"
@@ -165,6 +166,10 @@ class EvmRuntime:
         self.head_id: str | None = None
         self.arbitrator = Arbitrator()
         self._pending_failovers: set[tuple[str, str, int]] = set()
+        self._obs = instrument.evm_meters()
+        # Sim time each pending failover's report arrived at: the gap to
+        # the completed promotion is the failover-latency histogram.
+        self._fault_seen_at: dict[tuple[str, str], int] = {}
         self.migration = MigrationManager(
             engine=self.engine, node_id=self.node_id,
             send=self._send_message, can_accept=self._migration_can_accept,
@@ -521,6 +526,8 @@ class EvmRuntime:
     def _report_fault(self, assessment: HealthAssessment,
                       reason: str) -> None:
         self.stats.faults_reported += 1
+        if self._obs is not None:
+            self._obs.faults_reported.inc()
         self._record("evm.fault_detected", task=assessment.task,
                      subject=assessment.subject, reason=reason,
                      response=assessment.response.value)
@@ -568,6 +575,9 @@ class EvmRuntime:
         if assignment is None or assignment.primary != subject:
             return  # stale report; failover already happened
         self._pending_failovers.add(key)
+        if self._obs is not None:
+            self._fault_seen_at.setdefault((task_name, subject),
+                                           self.engine.now)
         self._record("evm.failover_pending", task=task_name, subject=subject,
                      holdoff=self.arbitration_holdoff_ticks)
         if self.arbitration_holdoff_ticks > 0:
@@ -595,6 +605,8 @@ class EvmRuntime:
             new_primary = self.arbitrator.select(candidates,
                                                  exclude={faulty_node})
         except ArbitrationError as exc:
+            if self._obs is not None:
+                self._obs.failovers_failed.inc()
             self._record("evm.failover_failed", task=task_name,
                          reason=str(exc))
             return
@@ -602,6 +614,11 @@ class EvmRuntime:
         new_assignment = self.vc.promote(task_name, new_primary,
                                          demote_to=self.policy.demote_mode)
         self.stats.failovers_executed += 1
+        if self._obs is not None:
+            now = self.engine.now
+            seen = self._fault_seen_at.pop((task_name, faulty_node), now)
+            self._obs.failovers.inc()
+            self._obs.failover_latency.observe((now - seen) / SEC)
         self._record("evm.failover", task=task_name, new_primary=new_primary,
                      demoted=faulty_node, epoch=new_assignment.epoch)
         self._broadcast_modes(task_name, new_assignment)

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.hardware.radio import RadioState
 from repro.net.mac.base import MacProtocol
 from repro.net.packet import Packet
+from repro.obs import instrument
 from repro.sim.clock import MS, US
 from repro.sim.process import Delay, Process
 
@@ -109,6 +110,9 @@ class RtLinkMac(MacProtocol):
         self._process: Process | None = None
         self.slots_woken = 0
         self.slots_transmitted = 0
+        # Slot boundaries are a few hundred Hz of sim time: cool enough
+        # to meter per occurrence.
+        self._obs = instrument.rtlink_meters()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -173,6 +177,8 @@ class RtLinkMac(MacProtocol):
             if not self.running or self.node.failed:
                 continue
             self.slots_woken += 1
+            if self._obs is not None:
+                self._obs.slots_woken.inc()
             if kind == "tx":
                 yield from self._tx_slot(slot_start_local)
             else:
@@ -204,6 +210,10 @@ class RtLinkMac(MacProtocol):
             yield Delay(airtime)
         if transmitted:
             self.slots_transmitted += 1
+        if self._obs is not None:
+            self._obs.slot_frames.observe(transmitted)
+            if transmitted:
+                self._obs.slots_transmitted.inc()
         self.port.sleep()
 
     def _rx_slot(self, slot_start_local: int):

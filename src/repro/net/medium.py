@@ -38,6 +38,7 @@ from repro.hardware.radio import RadioState
 from repro.net.link_quality import LinkQualityModel, PerfectLinks
 from repro.net.packet import Packet
 from repro.net.topology import Topology
+from repro.obs import instrument
 from repro.sim.engine import Engine
 from repro.sim.trace import Trace
 
@@ -110,6 +111,9 @@ class Medium:
         self.rng = rng or random.Random(0)
         self.trace = trace  # property: also maintains trace_enabled
         self.stats = MediumStats()
+        # Telemetry piggybacks on the existing per-completion batch
+        # flush; one None-check per frame send/complete when disabled.
+        self._obs = instrument.medium_meters()
         self._ports: dict[str, MediumPort] = {}
         # Ordered by (non-decreasing) start time; pruned from the front.
         self._active: deque[_Transmission] = deque()
@@ -240,6 +244,8 @@ class Medium:
         self._active.append(tx)
         self._raise_busy_horizons(node.node_id, tx.end)
         self.stats.frames_sent += 1
+        if self._obs is not None:
+            self._obs.frames_sent.inc()
         node.radio.set_state(RadioState.TX)
         if self.trace_enabled:
             self.trace.record(now, "medium.tx", node.node_id,
@@ -338,6 +344,11 @@ class Medium:
         stats.collisions += collisions
         stats.channel_losses += losses
         stats.missed_radio_off += missed
+        obs = self._obs
+        if obs is not None:
+            obs.frames_delivered.inc(delivered)
+            obs.collisions.inc(collisions)
+            obs.channel_losses.inc(losses)
         # Keep finished transmissions around for a grace window so later
         # frames that overlapped them still detect the collision; pruned
         # incrementally in _prune (B-MAC preambles are the longest frames).

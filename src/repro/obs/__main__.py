@@ -1,0 +1,76 @@
+"""``python -m repro.obs`` -- the telemetry export CLI.
+
+``serve`` stands up the stdlib Prometheus endpoint, optionally bridging
+a live ``repro.dist`` coordinator into the exposition::
+
+    python -m repro.obs serve --port 9109 --connect 127.0.0.1:7461
+
+and blocks until interrupted (or ``--duration`` elapses, for smoke
+tests).  The served registry is the process-global one, enabled here if
+it was not already (so ``REPRO_OBS`` is not required for the exporter
+itself).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import repro.obs as obs
+from repro.obs.http import MetricsServer
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    registry = obs.enable()
+    server = MetricsServer(registry, host=args.host, port=args.port)
+    bridge = None
+    if args.connect:
+        from repro.obs.bridge import CoordinatorBridge
+
+        bridge = CoordinatorBridge(registry, args.connect,
+                                   period=args.interval).start()
+    server.start()
+    print(f"serving metrics on {server.url}/metrics"
+          + (f" (bridging {args.connect})" if args.connect else ""),
+          flush=True)
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if bridge is not None:
+            bridge.stop()
+        server.stop()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Telemetry export edge (Prometheus over stdlib HTTP)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="serve /metrics, /snapshot and /healthz")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9109)
+    serve.add_argument("--connect", metavar="HOST:PORT", default=None,
+                       help="also mirror a repro.dist coordinator's "
+                            "status stream into the exposition")
+    serve.add_argument("--interval", type=float, default=1.0,
+                       help="status-stream subscription period (s)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="exit after this many seconds (smoke tests)")
+    serve.set_defaults(fn=_cmd_serve)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

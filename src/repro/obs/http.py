@@ -1,0 +1,107 @@
+"""Prometheus/JSON export over a tiny stdlib HTTP server.
+
+``MetricsServer`` wraps :class:`http.server.ThreadingHTTPServer` with
+three read-only endpoints:
+
+- ``/metrics``  -- Prometheus text exposition 0.0.4 (scrape target);
+- ``/snapshot`` -- the registry's structured JSON dump;
+- ``/healthz``  -- liveness probe (``ok``).
+
+No dependencies beyond the standard library; the server runs on a
+daemon thread so embedding it in a campaign script costs one line.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["MetricsServer", "PROMETHEUS_CONTENT_TYPE"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The registry is attached to the *server* (one handler instance is
+    # created per request).
+    server: "_Server"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = self.server.registry.render_prometheus().encode()
+            self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif path == "/snapshot":
+            body = json.dumps(self.server.registry.snapshot(),
+                              sort_keys=True).encode()
+            self._reply(200, "application/json", body)
+        elif path == "/healthz":
+            self._reply(200, "text/plain; charset=utf-8", b"ok\n")
+        else:
+            self._reply(404, "text/plain; charset=utf-8",
+                        b"not found\n")
+
+    def _reply(self, status: int, content_type: str,
+               body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A002
+        pass  # scrapes every few seconds must not spam stderr
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    registry: MetricsRegistry
+
+
+class MetricsServer:
+    """Serve a registry over HTTP on a daemon thread.
+
+    ``port=0`` binds an ephemeral port; read it back from
+    :attr:`address` after :meth:`start`.
+    """
+
+    def __init__(self, registry: MetricsRegistry, host: str = "127.0.0.1",
+                 port: int = 9109) -> None:
+        self.registry = registry
+        self._server = _Server((host, port), _Handler)
+        self._server.registry = registry
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "MetricsServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="obs-http",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

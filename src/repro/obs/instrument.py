@@ -1,0 +1,257 @@
+"""Per-layer meter bundles -- the binding point between hot code and
+the registry.
+
+Each instrumented subsystem calls its ``<layer>_meters()`` factory at
+construction time and stores the result as ``self._obs``:
+
+- telemetry disabled (the default): the factory returns ``None`` and
+  every hot site pays exactly one ``if self._obs is not None:`` check;
+- telemetry enabled: the factory returns a bundle object whose
+  attributes are pre-resolved metric instances, so the instrumented
+  path does plain attribute loads -- no registry lookups, no dict
+  hashing, no string formatting per event.
+
+Bundles are cached per registry (``registry.bundles``), so thousands of
+nodes constructed in a wide-grid run share one set of series.
+
+Instrumentation altitude is chosen per layer to keep telemetry-on
+overhead under the 10% budget: the engine flushes once per ``run()``
+(never per event), the medium piggybacks on its existing batch flush,
+the VM meters at ``execute()`` granularity (never per instruction), and
+only cool paths (slot boundaries, failovers, deadline misses, plant
+steps at ~10 Hz sim rate) meter per occurrence.
+"""
+
+from __future__ import annotations
+
+import repro.obs as _obs
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "EngineMeters", "MediumMeters", "RtLinkMeters", "VmMeters",
+    "SchedulerMeters", "EvmMeters", "HealthMeters", "PlantMeters",
+    "CampaignMeters",
+    "engine_meters", "medium_meters", "rtlink_meters", "vm_meters",
+    "scheduler_meters", "evm_meters", "health_meters", "plant_meters",
+    "campaign_meters",
+]
+
+# Buckets for sim-time failover latency: the paper's failover budget is
+# tens of milliseconds to a few round lengths, so resolve that range.
+_FAILOVER_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.2, 0.5,
+                     1.0, 2.0, 5.0)
+# Buckets for frames drained per RT-Link TX slot (small integers).
+_SLOT_BUCKETS = (0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0)
+# Buckets for plant step wall time (tens of microseconds .. ms).
+_STEP_BUCKETS = (0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+                 0.001, 0.0025, 0.005, 0.01)
+
+
+class EngineMeters:
+    """Flushed once per ``Engine.run()``/``run_until()`` -- zero
+    per-event cost."""
+
+    __slots__ = ("events", "runs", "pending", "sim_time")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.events = registry.counter(
+            "repro_engine_events_dispatched_total",
+            "Discrete events dispatched by all engines")
+        self.runs = registry.counter(
+            "repro_engine_runs_total",
+            "Engine run()/run_until() invocations")
+        self.pending = registry.gauge(
+            "repro_engine_pending_events",
+            "Live events queued at the end of the last run")
+        self.sim_time = registry.gauge(
+            "repro_engine_sim_time_seconds",
+            "Simulated clock of the most recently run engine")
+
+
+class MediumMeters:
+    """Incremented from the medium's existing batch-flush points."""
+
+    __slots__ = ("frames_sent", "frames_delivered", "collisions",
+                 "channel_losses")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.frames_sent = registry.counter(
+            "repro_net_frames_sent_total",
+            "Frames offered to the shared medium")
+        self.frames_delivered = registry.counter(
+            "repro_net_frames_delivered_total",
+            "Frame receptions delivered to radios")
+        self.collisions = registry.counter(
+            "repro_net_collisions_total",
+            "Receptions lost to overlapping transmissions")
+        self.channel_losses = registry.counter(
+            "repro_net_channel_losses_total",
+            "Receptions lost to the stochastic channel model")
+
+
+class RtLinkMeters:
+    """Slot-boundary occupancy: a few hundred Hz of sim events."""
+
+    __slots__ = ("slots_woken", "slots_transmitted", "slot_frames")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.slots_woken = registry.counter(
+            "repro_rtlink_slots_woken_total",
+            "TDMA slots in which a node woke its radio")
+        self.slots_transmitted = registry.counter(
+            "repro_rtlink_slots_transmitted_total",
+            "TDMA TX slots that carried at least one frame")
+        self.slot_frames = registry.histogram(
+            "repro_rtlink_slot_occupancy_frames",
+            "Frames drained per owned TX slot",
+            buckets=_SLOT_BUCKETS)
+
+
+class VmMeters:
+    """Metered at ``Interpreter.execute()`` granularity only."""
+
+    __slots__ = ("instructions", "faults")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.instructions = registry.counter(
+            "repro_vm_instructions_total",
+            "EVM bytecode instructions retired")
+        self.faults = registry.counter(
+            "repro_vm_faults_total",
+            "EVM executions ended by a VmError")
+
+
+class SchedulerMeters:
+    """Rare-path RTOS events (preemptions, misses, task faults)."""
+
+    __slots__ = ("preemptions", "context_switches", "deadline_misses",
+                 "task_faults")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.preemptions = registry.counter(
+            "repro_rtos_preemptions_total",
+            "Running jobs preempted by higher-priority releases")
+        self.context_switches = registry.counter(
+            "repro_rtos_context_switches_total",
+            "Execution slices started")
+        self.deadline_misses = registry.counter(
+            "repro_rtos_deadline_misses_total",
+            "Jobs that blew their deadline")
+        self.task_faults = registry.counter(
+            "repro_rtos_task_faults_total",
+            "Task bodies that raised during a slice")
+
+
+class EvmMeters:
+    """Failover machinery: reports, executions, sim-time latency."""
+
+    __slots__ = ("faults_reported", "failovers", "failovers_failed",
+                 "failover_latency")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.faults_reported = registry.counter(
+            "repro_evm_faults_reported_total",
+            "Faults reported to the EVM runtime")
+        self.failovers = registry.counter(
+            "repro_evm_failovers_total",
+            "Capsule failovers executed successfully")
+        self.failovers_failed = registry.counter(
+            "repro_evm_failovers_failed_total",
+            "Failover attempts lost to arbitration or no candidate")
+        self.failover_latency = registry.histogram(
+            "repro_evm_failover_latency_seconds",
+            "Sim time from fault report to completed failover",
+            buckets=_FAILOVER_BUCKETS)
+
+
+class HealthMeters:
+    """Health-monitor verdicts (confirmations are rare by design)."""
+
+    __slots__ = ("faults_confirmed", "silences")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.faults_confirmed = registry.counter(
+            "repro_health_faults_confirmed_total",
+            "Output-plausibility monitors that confirmed a fault")
+        self.silences = registry.counter(
+            "repro_health_silence_checks_total",
+            "Heartbeat checks that found a node silent")
+
+
+class PlantMeters:
+    """Wall time per plant step (~10 Hz of sim time: cool path)."""
+
+    __slots__ = ("steps", "step_seconds")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.steps = registry.counter(
+            "repro_plant_steps_total",
+            "Flowsheet integration steps executed")
+        self.step_seconds = registry.histogram(
+            "repro_plant_step_seconds",
+            "Wall-clock duration of one plant step",
+            buckets=_STEP_BUCKETS)
+
+
+class CampaignMeters:
+    """Per-run lifecycle in campaign workers and runners."""
+
+    __slots__ = ("runs", "runs_failed", "run_seconds")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.runs = registry.counter(
+            "repro_campaign_runs_total",
+            "Scenario runs completed")
+        self.runs_failed = registry.counter(
+            "repro_campaign_runs_failed_total",
+            "Scenario runs that raised")
+        self.run_seconds = registry.histogram(
+            "repro_campaign_run_seconds",
+            "Wall-clock duration of one scenario run")
+
+
+def _bundle(cls):
+    registry = _obs.get_registry()
+    if registry is None:
+        return None
+    bundle = registry.bundles.get(cls)
+    if bundle is None:
+        bundle = cls(registry)
+        registry.bundles[cls] = bundle
+    return bundle
+
+
+def engine_meters() -> EngineMeters | None:
+    return _bundle(EngineMeters)
+
+
+def medium_meters() -> MediumMeters | None:
+    return _bundle(MediumMeters)
+
+
+def rtlink_meters() -> RtLinkMeters | None:
+    return _bundle(RtLinkMeters)
+
+
+def vm_meters() -> VmMeters | None:
+    return _bundle(VmMeters)
+
+
+def scheduler_meters() -> SchedulerMeters | None:
+    return _bundle(SchedulerMeters)
+
+
+def evm_meters() -> EvmMeters | None:
+    return _bundle(EvmMeters)
+
+
+def health_meters() -> HealthMeters | None:
+    return _bundle(HealthMeters)
+
+
+def plant_meters() -> PlantMeters | None:
+    return _bundle(PlantMeters)
+
+
+def campaign_meters() -> CampaignMeters | None:
+    return _bundle(CampaignMeters)

@@ -1,0 +1,65 @@
+"""Span helpers: measure wall-clock or *simulated* durations.
+
+Wall-clock spans wrap ``time.perf_counter`` around real work (plant
+steps, campaign runs).  Sim-time spans read the engine clock instead --
+the duration is how much simulated time elapsed between enter and exit,
+which is the right ruler for things like failover latency where the
+wall cost of computing an event says nothing about the modelled system.
+
+Both are plain context managers feeding a
+:class:`~repro.obs.metrics.Histogram`; neither is used on per-event hot
+paths (those sites increment counters directly and amortize at batch
+boundaries -- see ``repro.obs.instrument``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.metrics import Histogram
+
+__all__ = ["WallSpan", "SimSpan"]
+
+# One simulated second in engine ticks (mirrors repro.sim.clock.SEC;
+# duplicated here so obs never imports the sim layer it instruments).
+_TICKS_PER_SEC = 1_000_000
+
+
+class WallSpan:
+    """``with WallSpan(hist): ...`` -- observe elapsed wall seconds."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "WallSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
+
+
+class SimSpan:
+    """``with SimSpan(engine, hist): ...`` -- observe elapsed *sim* seconds.
+
+    ``engine`` is anything with a ``now`` attribute in integer ticks
+    (one microsecond per tick, :data:`_TICKS_PER_SEC` per second).
+    """
+
+    __slots__ = ("_engine", "_histogram", "_start")
+
+    def __init__(self, engine, histogram: Histogram) -> None:
+        self._engine = engine
+        self._histogram = histogram
+        self._start = 0
+
+    def __enter__(self) -> "SimSpan":
+        self._start = self._engine.now
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(
+            (self._engine.now - self._start) / _TICKS_PER_SEC)

@@ -13,9 +13,11 @@ through the actuator taps (the HIL bridge / EVM path).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.control.controller import ControlLawConfig, FilteredPidController
+from repro.obs import instrument
 from repro.plant.components import Composition, Stream
 from repro.plant.flowsheet import Flowsheet
 from repro.plant.units.base import ProcessUnit
@@ -84,6 +86,7 @@ class NaturalGasPlant:
         # regulator sweep runs every plant step and name-resolved taps
         # dominated it.
         self._local_compiled: list[tuple] | None = None
+        self._obs = instrument.plant_meters()
 
     # ------------------------------------------------------------------
     # Construction
@@ -315,8 +318,16 @@ class NaturalGasPlant:
     # ------------------------------------------------------------------
     def step(self, dt_sec: float | None = None) -> None:
         dt = dt_sec if dt_sec is not None else self.PLANT_DT_SEC
+        obs = self._obs
+        if obs is None:
+            self._run_local_controllers()
+            self.flowsheet.step(dt)
+            return
+        start = time.perf_counter()
         self._run_local_controllers()
         self.flowsheet.step(dt)
+        obs.steps.inc()
+        obs.step_seconds.observe(time.perf_counter() - start)
 
     def settle(self, duration_sec: float = 1500.0) -> dict[str, float]:
         """Run to (near) steady state under full local control."""

@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 import itertools
 
+from repro.obs import instrument
 from repro.rtos.reservations import CpuReservation
 from repro.rtos.task import TaskSpec, TaskState, Tcb
 from repro.sim.engine import Engine, EventHandle
@@ -95,6 +96,9 @@ class Scheduler:
         self._created_at = engine.now
         self._idle_charged_ticks = 0
         self.halted = False
+        # Meters touch rare paths only (preempt, miss, fault, slice
+        # start); the dispatch fast path pays one None-check.
+        self._obs = instrument.scheduler_meters()
 
     # ------------------------------------------------------------------
     # Task management (driven by the kernel / EVM)
@@ -307,6 +311,8 @@ class Scheduler:
         if (top is not None
                 and top.tcb.spec.priority < self._current.tcb.spec.priority):
             self.preemptions += 1
+            if self._obs is not None:
+                self._obs.preemptions.inc()
             preempted = self._halt_current_slice(requeue=True)
             if self.trace is not None and preempted is not None:
                 self.trace.record(self.engine.now, "rtos.preempt",
@@ -332,6 +338,8 @@ class Scheduler:
         self._slice_start = self.engine.now
         job.tcb.state = TaskState.RUNNING
         self.context_switches += 1
+        if self._obs is not None:
+            self._obs.context_switches.inc()
         self._slice_event = self.engine.schedule(
             slice_ticks, self._slice_end, job)
 
@@ -417,6 +425,8 @@ class Scheduler:
             try:
                 tcb.body(tcb)
             except Exception as exc:  # noqa: BLE001 - fault containment
+                if self._obs is not None:
+                    self._obs.task_faults.inc()
                 if self.trace is not None:
                     self.trace.record(self.engine.now, "rtos.task_fault",
                                       self.node_id, task=tcb.name,
@@ -426,6 +436,8 @@ class Scheduler:
         if job.completed or job.cancelled:
             return
         job.tcb.deadline_misses += 1
+        if self._obs is not None:
+            self._obs.deadline_misses.inc()
         if self.trace is not None:
             self.trace.record(self.engine.now, "rtos.deadline_miss",
                               self.node_id, task=job.tcb.name,

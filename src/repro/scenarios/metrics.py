@@ -48,6 +48,9 @@ class RunMetrics:
     min_level_pct: float
     final_level_pct: float
     mean_io_latency_ms: float
+    # Data integrity: rows evicted by a bounded Trace ring during the
+    # run.  Non-zero means trace-derived metrics above may undercount.
+    trace_dropped: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -127,4 +130,5 @@ def collect(rig: "HilRig", scenario: Scenario,
         min_level_pct=min(levels_pct, default=0.0),
         final_level_pct=levels_pct[-1] if levels_pct else 0.0,
         mean_io_latency_ms=mean([lat / MS for lat in rig.io_latencies]),
+        trace_dropped=trace.dropped,
     )

@@ -33,11 +33,14 @@ from __future__ import annotations
 
 import os
 import re
+import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+import repro.obs as obs_mod
+from repro.obs import instrument
 from repro.scenarios.metrics import RunMetrics, collect
 from repro.scenarios.spec import Scenario
 from repro.sim.clock import SEC
@@ -67,11 +70,34 @@ def run_scenario(scenario: Scenario) -> RunMetrics:
 
 
 def _run_record(indexed: tuple[str, Scenario]) -> dict[str, Any]:
-    """Pool worker: one run -> one JSON-ready record."""
+    """Pool worker: one run -> one JSON-ready record.
+
+    With telemetry enabled (``REPRO_OBS=1`` reaches pool children via
+    the environment) the record carries a transient ``"obs"`` key: the
+    delta of this process's registry across the run.  Runners POP that
+    key before records are staged or summarized -- it is routed to the
+    store's ``metrics.jsonl`` side channel so the record stream (and
+    every golden digest over it) stays byte-identical to obs-off runs.
+    """
     run_id, scenario = indexed
-    metrics = run_scenario(scenario)
+    meters = instrument.campaign_meters()
+    if meters is None:
+        metrics = run_scenario(scenario)
+        return {"run_id": run_id, "scenario": scenario.to_dict(),
+                "metrics": metrics.to_dict()}
+    registry = obs_mod.get_registry()
+    before = registry.values()
+    start = time.perf_counter()
+    try:
+        metrics = run_scenario(scenario)
+    except BaseException:
+        meters.runs_failed.inc()
+        raise
+    meters.runs.inc()
+    meters.run_seconds.observe(time.perf_counter() - start)
     return {"run_id": run_id, "scenario": scenario.to_dict(),
-            "metrics": metrics.to_dict()}
+            "metrics": metrics.to_dict(),
+            "obs": obs_mod.delta_values(before, registry.values())}
 
 
 def _slug(name: str) -> str:
@@ -214,8 +240,16 @@ class CampaignRunner:
         else:
             stream = map(_run_record, jobs)
         records = []
+        obs_rows: list[dict[str, Any]] = []
         try:
             for record in stream:  # ordered: map preserves submission order
+                # Telemetry deltas ride a transient key (see _run_record):
+                # strip them before the record is staged, summarized or
+                # digested, so obs-on records equal obs-off records.
+                obs_row = record.pop("obs", None)
+                if obs_row is not None:
+                    obs_rows.append({"run_id": record["run_id"],
+                                     "metrics": obs_row})
                 records.append(record)
                 if store is not None:
                     store.stage_run(record["run_id"], record)
@@ -235,6 +269,9 @@ class CampaignRunner:
             # into load_runs().
             store.commit_staged()
             store.save_summary(result.summary)
+            # Same wholesale rule for the telemetry side channel: an
+            # empty row set removes a stale metrics.jsonl.
+            store.save_metrics_jsonl(obs_rows)
             result.store_root = str(store.root)
         return result
 
@@ -258,16 +295,25 @@ def summarize(records: list[dict[str, Any]]) -> dict[str, Any]:
     """Per-scenario aggregate statistics over a campaign's records.
 
     Failed-run records (the distributed runner commits these with an
-    ``error`` key instead of ``metrics``) are skipped, so re-summarizing
-    ``ResultsStore.load_runs()`` output stays well-defined after a
-    partially-failed distributed campaign.
+    ``error`` key instead of ``metrics``) are excluded from every
+    aggregate -- ``total_runs`` counts completed runs only -- but
+    surface as ``failed_runs``, and ``trace_dropped`` totals the rows
+    bounded Trace rings evicted, so silent data loss is visible at the
+    summary level.
     """
+    failed = [r for r in records if "error" in r]
     records = [r for r in records if "error" not in r]
     by_scenario: dict[str, list[dict[str, Any]]] = {}
     for record in records:
         by_scenario.setdefault(record["metrics"]["scenario"],
                                []).append(record["metrics"])
-    summary: dict[str, Any] = {"total_runs": len(records), "scenarios": {}}
+    summary: dict[str, Any] = {
+        "total_runs": len(records),
+        "failed_runs": len(failed),
+        "trace_dropped": sum(r["metrics"].get("trace_dropped", 0)
+                             for r in records),
+        "scenarios": {},
+    }
     for name, runs in sorted(by_scenario.items()):
         entry: dict[str, Any] = {
             "runs": len(runs),

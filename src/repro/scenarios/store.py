@@ -4,6 +4,7 @@ Layout under the store root::
 
     <root>/
       campaign.json            # campaign-level manifest + summary
+      metrics.jsonl            # per-run telemetry deltas (obs-on runs)
       runs/
         <run_id>.json          # one record per run: spec + metrics
       runs.staging/            # in-flight campaign being streamed
@@ -231,6 +232,38 @@ class ResultsStore:
     def load_runs(self) -> list[dict[str, Any]]:
         return [json.loads(path.read_text())
                 for path in sorted(self.runs_dir.glob("*.json"))]
+
+    def save_metrics_jsonl(self, rows: list[dict[str, Any]]) -> Path:
+        """Persist per-run telemetry snapshots (``repro.obs`` deltas) as
+        ``metrics.jsonl``: one JSON object per line, submission order.
+
+        The side channel follows the wholesale-replacement rule of the
+        record set: an empty ``rows`` *removes* a stale file (a reused
+        root must never pair a new campaign's records with an old
+        campaign's telemetry).  Written via tmp + ``os.replace`` so a
+        crash never leaves a torn file; ``runs/``-globbing readers are
+        unaffected (the file lives at the store root).
+        """
+        path = self.root / "metrics.jsonl"
+        if not rows:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+            return path
+        tmp = path.with_suffix(".jsonl.tmp")
+        tmp.write_text("".join(json.dumps(row, sort_keys=True) + "\n"
+                               for row in rows))
+        os.replace(tmp, path)
+        return path
+
+    def load_metrics_jsonl(self) -> list[dict[str, Any]]:
+        """The per-run telemetry rows, or ``[]`` when none were saved."""
+        path = self.root / "metrics.jsonl"
+        if not path.exists():
+            return []
+        return [json.loads(line)
+                for line in path.read_text().splitlines() if line]
 
     def save_summary(self, summary: dict[str, Any]) -> Path:
         path = self.root / "campaign.json"

@@ -33,6 +33,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable
 
+from repro.obs import instrument
 from repro.sim.clock import SimClock, format_time
 
 _heappush = heapq.heappush
@@ -94,6 +95,10 @@ class Engine:
         self._live = 0
         self._running = False
         self._dispatched_count = 0
+        # Telemetry rides the existing run()-boundary flush: the event
+        # loop itself never touches the bundle, so per-event cost is
+        # zero whether obs is on or off.
+        self._obs = instrument.engine_meters()
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -261,7 +266,17 @@ class Engine:
             self._running = False
             self._live -= dispatched
             self._dispatched_count += dispatched
+            if self._obs is not None:
+                self._flush_obs(dispatched)
         return dispatched
+
+    def _flush_obs(self, dispatched: int) -> None:
+        """Publish run-boundary telemetry (only called when enabled)."""
+        obs = self._obs
+        obs.events.inc(dispatched)
+        obs.runs.inc()
+        obs.pending.set(self._live)
+        obs.sim_time.set(self.clock._now / 1_000_000)
 
     def run_until(self, when: int) -> int:
         """Run events with timestamps ``<= when``; clock lands exactly on it.
@@ -301,6 +316,8 @@ class Engine:
             self._running = False
             self._live -= dispatched
             self._dispatched_count += dispatched
+            if self._obs is not None:
+                self._flush_obs(dispatched)
         return dispatched
 
     def run_for(self, duration: int) -> int:

@@ -32,6 +32,7 @@ import hashlib
 import json
 from pathlib import Path
 
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.evm.bytecode import Assembler, Instruction, Opcode, Program
@@ -287,6 +288,26 @@ class TestGoldenDigests:
         payload = widegrid_payload()
         assert payload == widegrid_payload()  # replay identity
         assert _digest(payload) == _goldens()["widegrid"]
+
+
+class TestObsOnGoldenDigests:
+    """Telemetry must be a pure observer: every golden workload digests
+    identically with ``repro.obs`` enabled.  This is the guard that the
+    instrumentation hooks (engine flush, medium batch counters, VM
+    execute() metering, failover latency spans, plant step timing,
+    campaign deltas) never perturb seeded semantics -- the run records
+    a telemetry-on campaign persists stay byte-identical to obs-off."""
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_digest_unchanged_with_telemetry(self, name):
+        import repro.obs as obs
+
+        obs.enable(obs.MetricsRegistry())
+        try:
+            payload = WORKLOADS[name]()
+        finally:
+            obs.disable()
+        assert _digest(payload) == _goldens()[name]
 
 
 # ----------------------------------------------------------------------
