@@ -15,7 +15,7 @@ snapshot so the perf trajectory of the repo is tracked across PRs::
     PYTHONPATH=src python benchmarks/hotpath.py --label optimized
 
 Each invocation merges its numbers under the given label into the
-snapshot file (default ``BENCH_6.json`` at the repo root) and, when both
+snapshot file (default ``BENCH_7.json`` at the repo root) and, when both
 ``baseline`` and ``optimized`` are present, computes the speedup table.
 ``--obs-overhead`` additionally re-measures the hottest meters with
 ``repro.obs`` telemetry enabled and records the off/on overhead table
@@ -310,6 +310,39 @@ def bench_plant_steps(n_steps: int = 3_000) -> float:
     return _best_rate(measure)
 
 
+def _flowsheet_np_available() -> bool:
+    """True when numpy is importable and the plant grew the backend knob."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    import inspect
+
+    from repro.plant.gas_plant import NaturalGasPlant
+    return "backend" in inspect.signature(NaturalGasPlant.__init__).parameters
+
+
+def bench_flowsheet_np_steps(n_steps: int = 3_000) -> float:
+    """The same plant advance on the numpy flowsheet backend
+    (``NaturalGasPlant(backend="np")``) -- conformance-grade: the backend
+    must stay bit-identical to the scalar sweep, and this meter tracks
+    what that costs (numpy per-op dispatch is overhead-bound at
+    single-flowsheet width)."""
+    from repro.plant.gas_plant import NaturalGasPlant
+
+    plant = NaturalGasPlant(backend="np")
+    plant.enable_local_control()
+
+    def measure():
+        start = time.perf_counter()
+        for _ in range(n_steps):
+            plant.step(0.5)
+        elapsed = time.perf_counter() - start
+        return n_steps, elapsed
+
+    return _best_rate(measure)
+
+
 # ----------------------------------------------------------------------
 # Trace: structured event recording (dominates traced runs)
 # ----------------------------------------------------------------------
@@ -362,6 +395,52 @@ def bench_widegrid_trial(reps: int = 2) -> float:
     return _best_seconds(measure, reps=reps)
 
 
+def bench_widegrid_256_trial(reps: int = 2) -> float:
+    """The failover trial at 256 nodes, mirroring the slow-suite geometry
+    (``tests/integration/test_widegrid_scale.py``): 240 m arena, 30 m
+    radios, a primary crash at t=12 s over 40 simulated seconds."""
+    from repro.experiments.widegrid import WideGridConfig, run_widegrid_trial
+
+    config = WideGridConfig(n_nodes=256, area_m=240.0, radio_range_m=30.0,
+                            seed=2, duration_sec=40.0,
+                            crash_primary_at_sec=12.0)
+
+    def measure() -> float:
+        start = time.perf_counter()
+        result = run_widegrid_trial(config)
+        elapsed = time.perf_counter() - start
+        assert result.failovers_executed >= 1
+        return elapsed
+
+    return _best_seconds(measure, reps=reps)
+
+
+def bench_widegrid_1000_trial(reps: int = 1) -> float:
+    """A 1000-node random-geometric failover trial (~20 mean degree,
+    ~10k links): the scale target of the fourth perf wave.  The control
+    period is pinned to one TDMA frame (5 s at 1000 slots) and the
+    heartbeat timeout to three frames so detection completes well inside
+    the 45 simulated seconds."""
+    from repro.experiments.widegrid import WideGridConfig, run_widegrid_trial
+    from repro.sim.clock import SEC
+
+    config = WideGridConfig(n_nodes=1000, area_m=300.0, radio_range_m=25.0,
+                            seed=1, duration_sec=45.0,
+                            report_period_sec=15.0,
+                            control_period_ticks=5 * SEC,
+                            heartbeat_timeout_ticks=15 * SEC,
+                            crash_primary_at_sec=10.0)
+
+    def measure() -> float:
+        start = time.perf_counter()
+        result = run_widegrid_trial(config)
+        elapsed = time.perf_counter() - start
+        assert result.failovers_executed >= 1
+        return elapsed
+
+    return _best_seconds(measure, reps=reps)
+
+
 # ----------------------------------------------------------------------
 # Snapshot plumbing
 # ----------------------------------------------------------------------
@@ -374,9 +453,18 @@ METRICS = {
     "campaign_runs_per_sec": bench_campaign_runs,
     "campaign_dist_runs_per_sec": bench_campaign_dist_runs,
     "plant_steps_per_sec": bench_plant_steps,
+    "flowsheet_np_steps_per_sec": bench_flowsheet_np_steps,
     "traced_events_per_sec": bench_traced_events,
     "widegrid_trial_sec": bench_widegrid_trial,
+    "widegrid_256_trial_sec": bench_widegrid_256_trial,
+    "widegrid_1000_trial_sec": bench_widegrid_1000_trial,
 }
+
+AVAILABILITY = {
+    "flowsheet_np_steps_per_sec": _flowsheet_np_available,
+}
+"""Meters that need an optional capability; unavailable ones are skipped
+(the trend gate tolerates meters absent from a snapshot)."""
 
 
 OBS_OVERHEAD_METERS = (
@@ -398,6 +486,10 @@ constrains.
 def run_all() -> dict[str, float]:
     results = {}
     for name, fn in METRICS.items():
+        gate = AVAILABILITY.get(name)
+        if gate is not None and not gate():
+            print(f"  {name:<28} {'(skipped: unavailable)':>14}")
+            continue
         value = fn()
         if is_duration_meter(name):
             results[name] = round(value, 3)
@@ -453,7 +545,7 @@ def main() -> None:
                         choices=("baseline", "optimized"),
                         help="which side of the comparison this run records")
     parser.add_argument("--out", default=None,
-                        help="snapshot path (default: <repo>/BENCH_6.json)")
+                        help="snapshot path (default: <repo>/BENCH_7.json)")
     parser.add_argument("--json", action="store_true",
                         help="print the full updated snapshot as JSON on "
                              "stdout (for CI log capture / scripting)")
@@ -464,17 +556,18 @@ def main() -> None:
     args = parser.parse_args()
 
     out = Path(args.out) if args.out else \
-        Path(__file__).resolve().parent.parent / "BENCH_6.json"
+        Path(__file__).resolve().parent.parent / "BENCH_7.json"
     snapshot = json.loads(out.read_text()) if out.exists() else {
-        "bench": 6,
+        "bench": 7,
         "description": ("Hot-path microbenchmark snapshot: Engine event "
                         "dispatch, Process resumes, EVM interpretation, "
                         "Medium frame resolution, campaign sweep "
                         "throughput (local pool and distributed "
-                        "coordinator/worker cluster), plant stepping, "
-                        "trace recording, the 100-node wide-grid trial "
-                        "and the repro.obs telemetry-on overhead table "
-                        "(benchmarks/hotpath.py)"),
+                        "coordinator/worker cluster), plant stepping on "
+                        "the scalar and numpy flowsheet backends, trace "
+                        "recording, the 100/256/1000-node wide-grid "
+                        "failover trials and the repro.obs telemetry-on "
+                        "overhead table (benchmarks/hotpath.py)"),
     }
     snapshot["host"] = {
         "python": platform.python_version(),

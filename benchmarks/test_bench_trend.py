@@ -85,6 +85,22 @@ def test_duration_meter_regression_is_a_rise():
     assert "above" in failures[0]
 
 
+def test_late_appearing_meters_are_new_not_regressions():
+    """Meters that first appear mid-history (``widegrid_1000_trial_sec``
+    and ``flowsheet_np_steps_per_sec`` land in BENCH_7) have no prior
+    and must pass both the rate rule and the duration rule."""
+    snapshots = [(6, {"optimized": {"m": 100.0}}),
+                 (7, {"optimized": {"m": 100.0,
+                                    "widegrid_1000_trial_sec": 13.7,
+                                    "flowsheet_np_steps_per_sec": 5e4}})]
+    assert check_trend(snapshots, tolerance=0.20) == []
+    # And from then on they are gated like any other meter.
+    snapshots.append((8, {"optimized": {"m": 100.0,
+                                        "widegrid_1000_trial_sec": 20.0}}))
+    failures = check_trend(snapshots, tolerance=0.20)
+    assert len(failures) == 1 and "widegrid_1000_trial_sec" in failures[0]
+
+
 def test_duration_meter_improvement_never_fails():
     snapshots = [(1, {"optimized": {"trial_sec": 2.0}}),
                  (2, {"optimized": {"trial_sec": 0.5}})]  # 4x faster

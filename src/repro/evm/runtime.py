@@ -66,6 +66,35 @@ class StateSharingPolicy:
 
 
 @dataclass
+class FloodDiscipline:
+    """Duplicate-suppression policy for the VC's broadcast traffic.
+
+    On a wide mesh every broadcast arrives at every runtime once per
+    flood, and viral capsule dissemination makes each adopter a fresh
+    flood origin -- the dense-neighborhood storm.  The discipline bounds
+    that without changing what any runtime ultimately applies:
+
+    - ``capsule_fanout_bound``: a freshly adopted capsule is *not*
+      re-disseminated when fragments for it were already heard from at
+      least this many distinct spreaders (the neighborhood is already
+      covered).  ``0`` keeps unbounded viral spread.
+    - ``state_stale_drop``: drop passive-sharing snapshots whose job
+      counter does not advance on what this backup last applied
+      (re-ordered or duplicated flood copies).
+    - ``mode_dedup``: apply each exact mode-change broadcast once,
+      keyed by (task, epoch, primary, modes) -- re-applies are
+      idempotent, so this only saves the bookkeeping work.
+
+    The default-constructed discipline disables everything, preserving
+    earlier behavior bit for bit.
+    """
+
+    capsule_fanout_bound: int = 0
+    state_stale_drop: bool = False
+    mode_dedup: bool = False
+
+
+@dataclass
 class RuntimeStats:
     """Counters the experiments and benchmarks read."""
 
@@ -82,6 +111,9 @@ class RuntimeStats:
     vm_faults: int = 0
     capsules_installed: int = 0
     messages_handled: int = 0
+    capsule_rebroadcasts_suppressed: int = 0
+    snapshots_stale_dropped: int = 0
+    mode_duplicates_dropped: int = 0
 
 
 class HostedInstance:
@@ -145,6 +177,7 @@ class EvmRuntime:
         arbitration_holdoff_ticks: int = 0,
         housekeeping_period_ticks: int = 100 * MS,
         evm_priority: int = 0,
+        flood_discipline: FloodDiscipline | None = None,
     ) -> None:
         self.kernel = kernel
         self.engine = kernel.engine
@@ -153,6 +186,7 @@ class EvmRuntime:
         self.trace = trace
         self.policy = failover_policy or FailoverPolicy()
         self.state_sharing = state_sharing or StateSharingPolicy()
+        self.flood = flood_discipline or FloodDiscipline()
         self.arbitration_holdoff_ticks = arbitration_holdoff_ticks
         self.stats = RuntimeStats()
         self.interpreter = Interpreter()
@@ -161,6 +195,12 @@ class EvmRuntime:
         self.instances: dict[str, HostedInstance] = {}
         self.monitors: list[_MonitorState] = []
         self._capsule_buffers: dict[tuple, dict[int, bytes]] = {}
+        # Flood-discipline caches: spreaders heard per capsule version,
+        # last snapshot job counter applied per (src, task), and the set
+        # of mode broadcasts already applied.
+        self._capsule_sources: dict[tuple, set[str]] = {}
+        self._snapshot_seq: dict[tuple[str, str], int] = {}
+        self._modes_applied: set[tuple] = set()
         # Local view of each task's primary (the OS-1 operation switch).
         self.task_primaries: dict[str, tuple[str, int]] = {}
         self.head_id: str | None = None
@@ -518,6 +558,12 @@ class EvmRuntime:
                                                   (packet.src, 0))
         if packet.src != primary:
             return
+        if self.flood.state_stale_drop:
+            key = (packet.src, payload["task"])
+            if payload["jobs"] <= self._snapshot_seq.get(key, -1):
+                self.stats.snapshots_stale_dropped += 1
+                return
+            self._snapshot_seq[key] = payload["jobs"]
         memory = payload["memory"]
         instance.memory[:len(memory)] = memory
         self.stats.snapshots_applied += 1
@@ -653,6 +699,16 @@ class EvmRuntime:
 
     def _apply_mode_change(self, payload: dict) -> None:
         task_name = payload["task"]
+        if self.flood.mode_dedup:
+            # Re-applying an identical mode broadcast is idempotent; the
+            # applied-set just skips the redundant bookkeeping (relayed
+            # flood copies on dense meshes).
+            fingerprint = (task_name, payload["epoch"], payload["primary"],
+                           tuple(sorted(payload["modes"].items())))
+            if fingerprint in self._modes_applied:
+                self.stats.mode_duplicates_dropped += 1
+                return
+            self._modes_applied.add(fingerprint)
         known_primary, known_epoch = self.task_primaries.get(task_name,
                                                              ("", -1))
         if payload["epoch"] < known_epoch:
@@ -694,6 +750,9 @@ class EvmRuntime:
     # -- capsules / membership / halt -------------------------------------
     def _on_capsule(self, packet: Packet) -> None:
         capsule: Capsule = packet.payload
+        if self.flood.capsule_fanout_bound:
+            self._capsule_sources.setdefault(
+                (capsule.name, capsule.version), set()).add(packet.src)
         self._adopt_capsule(capsule)
 
     def _on_capsule_fragment(self, packet: Packet) -> None:
@@ -701,6 +760,8 @@ class EvmRuntime:
         key = (payload["name"], payload["version"])
         if self.capsules.has(payload["name"], payload["version"]):
             return  # already current; ignore the re-broadcast storm
+        if self.flood.capsule_fanout_bound:
+            self._capsule_sources.setdefault(key, set()).add(packet.src)
         buffer = self._capsule_buffers.setdefault(key, {})
         buffer[payload["index"]] = payload["chunk"]
         if len(buffer) < payload["total"]:
@@ -720,8 +781,17 @@ class EvmRuntime:
             return
         if was_new:
             self.stats.capsules_installed += 1
-            # Viral dissemination: news travels onward.
-            self._disseminate_capsule(capsule)
+            # Viral dissemination: news travels onward -- unless enough
+            # distinct spreaders were already heard pushing this exact
+            # version, in which case the neighborhood is covered and one
+            # more flood origin only adds to the storm.
+            bound = self.flood.capsule_fanout_bound
+            heard = self._capsule_sources.pop(
+                (capsule.name, capsule.version), ())
+            if bound and len(heard) >= bound:
+                self.stats.capsule_rebroadcasts_suppressed += 1
+            else:
+                self._disseminate_capsule(capsule)
 
     def _on_hello(self, packet: Packet) -> None:
         if not self.is_head:

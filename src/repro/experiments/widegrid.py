@@ -46,7 +46,7 @@ from repro.evm.optimizer import (
     bqp_assign,
     greedy_assign,
 )
-from repro.evm.runtime import EvmRuntime
+from repro.evm.runtime import EvmRuntime, FloodDiscipline
 from repro.evm.tasks import LogicalTask
 from repro.evm.virtual_component import VcMember, VirtualComponent
 from repro.experiments.metrics import project_node_energy
@@ -77,6 +77,14 @@ REPORT_BYTES = 24
 MIN_NODES = 5
 """The role cluster needs head + sensor + two controllers + actuator."""
 
+FLOOD_SUPPRESS_AUTO_NODES = 512
+"""Flood suppression switches on automatically at this grid size.
+
+Below it (every golden workload runs at 256 nodes or fewer) trials keep
+the classic relay-at-once flood, bit for bit; at and above it the
+broadcast storm dominates the trial's wall clock and counter-based
+suppression is the default."""
+
 
 @dataclass
 class WideGridConfig:
@@ -96,6 +104,13 @@ class WideGridConfig:
     detection_threshold: int = 3
     flood_ttl: int = 3
     queue_capacity: int = 32
+    # None = auto: suppression on (threshold 2) at
+    # FLOOD_SUPPRESS_AUTO_NODES nodes and wider, off below; 0 = force
+    # off; N > 0 = force on with that duplicate threshold.
+    flood_suppress_threshold: int | None = None
+    # 0 = derived: one TDMA frame (every earlier-slotted neighbor has
+    # had its chance to relay by then).
+    flood_suppress_delay_ticks: int = 0
     # None = no fault; otherwise the primary controller's kernel crashes.
     crash_primary_at_sec: float | None = None
     recover_at_sec: float | None = None
@@ -118,6 +133,15 @@ class WideGridConfig:
         if self.heartbeat_timeout_ticks:
             return self.heartbeat_timeout_ticks
         return 5 * self.control_period()
+
+    def flood_suppression(self) -> tuple[int, int]:
+        """Resolved ``(threshold, delay_ticks)`` for the relay layer."""
+        threshold = self.flood_suppress_threshold
+        if threshold is None:
+            threshold = (2 if self.n_nodes >= FLOOD_SUPPRESS_AUTO_NODES
+                         else 0)
+        delay = self.flood_suppress_delay_ticks or self.frame_ticks()
+        return threshold, delay
 
 
 @dataclass
@@ -215,6 +239,7 @@ class WideGridRig:
         self.schedule = RtLinkSchedule.round_robin(
             self.mac_config, node_ids, listeners_of=listeners)
         tables = build_tree_tables(self.topology, self.head)
+        suppress_threshold, suppress_delay = cfg.flood_suppression()
         self.nodes: dict[str, FireFlyNode] = {}
         self.macs: dict[str, RoutedMacAdapter] = {}
         for node_id in node_ids:
@@ -226,8 +251,10 @@ class WideGridRig:
             mac = RtLinkMac(self.engine, node, self.medium.attach(node),
                             self.schedule,
                             queue_capacity=cfg.queue_capacity)
-            adapter = RoutedMacAdapter(mac, tables.get(node_id, {}),
-                                       flood_ttl=cfg.flood_ttl)
+            adapter = RoutedMacAdapter(
+                mac, tables.get(node_id, {}), flood_ttl=cfg.flood_ttl,
+                suppress_threshold=suppress_threshold,
+                suppress_delay_ticks=suppress_delay)
             self.nodes[node_id] = node
             self.macs[node_id] = adapter
 
@@ -285,6 +312,11 @@ class WideGridRig:
         programs = [compile_passthrough("grid_sensor_law", gain=1.0),
                     compile_passthrough("grid_ctrl_law", gain=CTRL_GAIN),
                     compile_passthrough("grid_act_law", gain=1.0)]
+        suppress_threshold, _ = cfg.flood_suppression()
+        discipline = (FloodDiscipline(
+            capsule_fanout_bound=suppress_threshold,
+            state_stale_drop=True, mode_dedup=True)
+            if suppress_threshold else None)
         self.kernels: dict[str, NanoRK] = {}
         self.runtimes: dict[str, EvmRuntime] = {}
         for node_id in sorted(self.topology.node_ids):
@@ -299,7 +331,8 @@ class WideGridRig:
                 capabilities=self.capabilities[node_id], trace=self.trace,
                 failover_policy=FailoverPolicy(
                     detection_threshold=cfg.detection_threshold,
-                    dormant_delay_ticks=60 * SEC))
+                    dormant_delay_ticks=60 * SEC),
+                flood_discipline=discipline)
             for program in programs:
                 runtime.install_capsule(Capsule.from_program(program, 1))
             runtime.configure_from_vc(head_id=self.head)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.hardware.radio import RadioState
 from repro.net.mac.base import MacProtocol
+from repro.net.mac.slotwheel import SlotWheel
 from repro.net.packet import Packet
 from repro.obs import instrument
 from repro.sim.clock import MS, US
@@ -41,12 +42,24 @@ class RtLinkConfig:
 
 
 class RtLinkSchedule:
-    """Global slot assignment: one transmitter and N listeners per slot."""
+    """Global slot assignment: one transmitter and N listeners per slot.
+
+    Mutations (``assign``/``clear``) bump ``version``; the per-node slot
+    indexes behind ``tx_slots_of``/``rx_slots_of``/``free_slots`` and
+    every :class:`~repro.net.mac.slotwheel.SlotWheel` built from this
+    schedule are keyed on that stamp, so lookups are O(1) dict reads
+    instead of per-call frame scans and stale calendars are impossible.
+    """
 
     def __init__(self, config: RtLinkConfig) -> None:
         self.config = config
         self._tx: dict[int, str] = {}
         self._rx: dict[int, set[str]] = {}
+        self.version = 0
+        self._index_version = -1
+        self._tx_by_node: dict[str, list[int]] = {}
+        self._rx_by_node: dict[str, list[int]] = {}
+        self._free: list[int] = []
 
     def assign(self, slot: int, transmitter: str,
                listeners: set[str] | None = None) -> None:
@@ -59,10 +72,13 @@ class RtLinkSchedule:
                 f"slot {slot} already assigned to {self._tx[slot]!r}")
         self._tx[slot] = transmitter
         self._rx[slot] = set(listeners or set()) - {transmitter}
+        self.version += 1
 
     def clear(self, slot: int) -> None:
-        self._tx.pop(slot, None)
-        self._rx.pop(slot, None)
+        had_tx = self._tx.pop(slot, None) is not None
+        had_rx = self._rx.pop(slot, None) is not None
+        if had_tx or had_rx:
+            self.version += 1
 
     def transmitter(self, slot: int) -> str | None:
         return self._tx.get(slot)
@@ -70,15 +86,34 @@ class RtLinkSchedule:
     def listeners(self, slot: int) -> set[str]:
         return self._rx.get(slot, set())
 
+    def _reindex(self) -> None:
+        tx_by_node: dict[str, list[int]] = {}
+        rx_by_node: dict[str, list[int]] = {}
+        for slot in sorted(self._tx):
+            tx_by_node.setdefault(self._tx[slot], []).append(slot)
+        for slot in sorted(self._rx):
+            for node_id in self._rx[slot]:
+                rx_by_node.setdefault(node_id, []).append(slot)
+        self._tx_by_node = tx_by_node
+        self._rx_by_node = rx_by_node
+        self._free = [s for s in range(self.config.slots_per_frame)
+                      if s not in self._tx]
+        self._index_version = self.version
+
     def tx_slots_of(self, node_id: str) -> list[int]:
-        return sorted(s for s, n in self._tx.items() if n == node_id)
+        if self._index_version != self.version:
+            self._reindex()
+        return list(self._tx_by_node.get(node_id, ()))
 
     def rx_slots_of(self, node_id: str) -> list[int]:
-        return sorted(s for s, ls in self._rx.items() if node_id in ls)
+        if self._index_version != self.version:
+            self._reindex()
+        return list(self._rx_by_node.get(node_id, ()))
 
     def free_slots(self) -> list[int]:
-        return [s for s in range(self.config.slots_per_frame)
-                if s not in self._tx]
+        if self._index_version != self.version:
+            self._reindex()
+        return list(self._free)
 
     @classmethod
     def round_robin(cls, config: RtLinkConfig, node_ids: list[str],
@@ -108,6 +143,7 @@ class RtLinkMac(MacProtocol):
         self.schedule = schedule
         self.config = schedule.config
         self._process: Process | None = None
+        self._wheel: SlotWheel | None = None
         self.slots_woken = 0
         self.slots_transmitted = 0
         # Slot boundaries are a few hundred Hz of sim time: cool enough
@@ -143,13 +179,25 @@ class RtLinkMac(MacProtocol):
 
     def _next_interesting_slot(self, from_slot: int) -> tuple[int, str] | None:
         """(absolute slot number, kind) of the next slot >= ``from_slot``
-        this node works."""
+        this node works.
+
+        Reference walker: one whole-frame scan per call.  The live loop
+        uses the O(log n) :class:`SlotWheel` calendar instead; this stays
+        as the executable specification the property tests hold the wheel
+        to."""
         for abs_slot in range(from_slot,
                               from_slot + self.config.slots_per_frame):
             kind = self._my_slot_kind(abs_slot % self.config.slots_per_frame)
             if kind is not None:
                 return abs_slot, kind
         return None
+
+    def _calendar(self) -> SlotWheel:
+        """The node's slot wheel, rebuilt iff the schedule version moved."""
+        wheel = self._wheel
+        if wheel is None or wheel.version != self.schedule.version:
+            wheel = self._wheel = SlotWheel(self.node_id, self.schedule)
+        return wheel
 
     def _run(self):
         cfg = self.config
@@ -162,7 +210,7 @@ class RtLinkMac(MacProtocol):
                 yield Delay(cfg.frame_ticks)
                 cursor = self.node.clock.local_time() // cfg.slot_ticks + 1
                 continue
-            upcoming = self._next_interesting_slot(cursor)
+            upcoming = self._calendar().next_interesting(cursor)
             if upcoming is None:
                 yield Delay(cfg.frame_ticks)
                 cursor += cfg.slots_per_frame

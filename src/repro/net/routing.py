@@ -112,19 +112,35 @@ class RoutedMacAdapter:
     - broadcast frames are flooded: each node retransmits a broadcast it
       has not seen before (dedup by origin sequence number), bounded by
       ``flood_ttl`` hops.
+
+    **Flood suppression** (``suppress_threshold > 0``): instead of
+    relaying a fresh broadcast immediately, the node holds the relay for
+    ``suppress_delay_ticks`` and counts the duplicate copies it
+    overhears meanwhile.  If at least ``suppress_threshold`` neighbors
+    relayed the same flood first, this node's copy is redundant and is
+    dropped (counter-based broadcast suppression).  Local delivery is
+    never delayed -- only the rebroadcast.  The default (``0``) keeps
+    the classic relay-at-once flood, bit-identical to earlier behavior.
     """
 
     FLOOD_PREFIX = "flood."
 
     def __init__(self, mac: MacProtocol, next_hops: dict[str, str],
-                 flood_ttl: int = 4) -> None:
+                 flood_ttl: int = 4, suppress_threshold: int = 0,
+                 suppress_delay_ticks: int = 0) -> None:
         self.mac = mac
         self.router = TreeRouter(mac, next_hops)
         self.flood_ttl = flood_ttl
+        self.suppress_threshold = suppress_threshold
+        self.suppress_delay_ticks = suppress_delay_ticks
         self._seen_floods: set[tuple[str, int]] = set()
+        # Pending relay decisions: flood key -> [duplicates overheard].
+        self._pending_relays: dict[tuple[str, int], list[int]] = {}
         self._handler: Callable[[Packet], None] | None = None
         self.router.set_deliver_handler(self._deliver)
         self.floods_relayed = 0
+        self.floods_suppressed = 0
+        self.duplicate_floods_heard = 0
 
     @property
     def node_id(self) -> str:
@@ -161,6 +177,10 @@ class RoutedMacAdapter:
             origin, seq, payload = packet.payload
             key = (origin, seq)
             if key in self._seen_floods:
+                self.duplicate_floods_heard += 1
+                counter = self._pending_relays.get(key)
+                if counter is not None:
+                    counter[0] += 1
                 return
             self._seen_floods.add(key)
             original = Packet(src=origin, dst=BROADCAST,
@@ -177,8 +197,25 @@ class RoutedMacAdapter:
                                size_bytes=packet.size_bytes,
                                created_at=packet.created_at,
                                hops=packet.hops + 1)
-                self.floods_relayed += 1
-                self.mac.send(relay)
+                if self.suppress_threshold > 0:
+                    counter = [0]
+                    self._pending_relays[key] = counter
+                    self.mac.engine.post(self.suppress_delay_ticks,
+                                         self._relay_decision, key, counter,
+                                         relay)
+                else:
+                    self.floods_relayed += 1
+                    self.mac.send(relay)
             return
         if self._handler is not None:
             self._handler(packet)
+
+    def _relay_decision(self, key: tuple[str, int], counter: list[int],
+                        relay: Packet) -> None:
+        """The held relay fires -- unless enough neighbors beat us to it."""
+        self._pending_relays.pop(key, None)
+        if counter[0] >= self.suppress_threshold:
+            self.floods_suppressed += 1
+            return
+        self.floods_relayed += 1
+        self.mac.send(relay)

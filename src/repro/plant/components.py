@@ -96,6 +96,19 @@ class Composition:
             self.fractions = [v / total for v in values]
         return self
 
+    @classmethod
+    def _from_fractions(cls, values: list[float]) -> "Composition":
+        """Adopt an already-normalized fraction list verbatim.
+
+        :class:`~repro.plant.ports.StreamPort` materialization: the list
+        was produced by ``_normalized``-equivalent kernel arithmetic, so
+        re-running the divide-skip pass would change no bits and only
+        cost a sweep.  The caller hands over a fresh list.
+        """
+        self = object.__new__(cls)
+        self.fractions = values
+        return self
+
     def __getitem__(self, formula: str) -> float:
         return self.fractions[SPECIES_INDEX[formula]]
 

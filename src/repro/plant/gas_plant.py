@@ -20,6 +20,7 @@ from repro.control.controller import ControlLawConfig, FilteredPidController
 from repro.obs import instrument
 from repro.plant.components import Composition, Stream
 from repro.plant.flowsheet import Flowsheet
+from repro.plant.ports import StreamPort
 from repro.plant.units.base import ProcessUnit
 from repro.plant.units.column import Depropanizer
 from repro.plant.units.heat_exchanger import Chiller, GasGasExchanger
@@ -39,7 +40,20 @@ class VaporHeader(ProcessUnit):
         self.valve = valve
         self.pressure_kpa = pressure_kpa
         self.volume_mol_per_kpa = volume_mol_per_kpa
+        self.outlet_port = StreamPort()
         self.outlet = Stream.empty()
+
+    @property
+    def outlet(self) -> Stream:
+        return self.outlet_port.get()
+
+    @outlet.setter
+    def outlet(self, stream: Stream) -> None:
+        self.outlet_port.set_stream(stream)
+
+    def compile_kernel(self, np):
+        from repro.plant.kernels import vapor_header_kernel
+        return vapor_header_kernel(self, np)
 
     def step(self, dt_sec: float) -> None:
         self.valve.step(dt_sec)
@@ -73,9 +87,10 @@ class NaturalGasPlant:
     LTS_LEVEL_SETPOINT = 50.0
     PLANT_DT_SEC = 0.5
 
-    def __init__(self, local_control_dt_sec: float = 0.5) -> None:
+    def __init__(self, local_control_dt_sec: float = 0.5,
+                 backend: str = "auto") -> None:
         self.local_control_dt_sec = local_control_dt_sec
-        self.flowsheet = Flowsheet("natural-gas-plant")
+        self.flowsheet = Flowsheet("natural-gas-plant", backend=backend)
         self._build_units()
         self._register_taps()
         self.loops = self._build_loops()
@@ -149,13 +164,29 @@ class NaturalGasPlant:
             distillate_valve=self.distillate_valve,
             bottoms_valve=self.bottoms_valve,
             overhead_gas_valve=self.deprop_gas_valve))
+        # Port-direct wiring: the lambdas above keep construction order
+        # flexible (the exchanger's cold side references the LTS before
+        # it exists); with every unit built, point the inputs straight
+        # at the upstream output ports so the fused kernels read raw
+        # fields with no stream materialization.  The feed mixer keeps
+        # its lambdas -- feed1/feed2 are reassignable plain streams.
+        self.inlet_sep.feed = self.feed_mixer.outlet_port
+        self.gas_gas.hot_inlet = self.inlet_sep.vapor_out_port
+        self.gas_gas.cold_inlet = self.lts.vapor_out_port
+        self.chiller.inlet = self.gas_gas.hot_out_port
+        self.lts.feed = self.chiller.outlet_port
+        self.sales_header.inlet = self.gas_gas.cold_out_port
+        self.liquids_mixer.inlets = [self.inlet_sep.liquid_out_port,
+                                     self.lts.liquid_out_port]
+        self.depropanizer.feed = self.liquids_mixer.outlet_port
 
     def _liquid_header_backpressure(self) -> float:
         """Shared liquid-header coupling: LTS gas blow-by pressures up the
         header and chokes the inlet separator's drainage -- the mechanism
         behind the SepLiq disturbance in Fig. 6(b)."""
         nominal = 25.0
-        excess = max(0.0, self.liquids_mixer.outlet.molar_flow - nominal)
+        excess = max(0.0,
+                     self.liquids_mixer.outlet_port.molar_flow() - nominal)
         return 1.0 / (1.0 + 0.012 * excess)
 
     def _register_taps(self) -> None:
@@ -306,7 +337,7 @@ class NaturalGasPlant:
         compiled = self._local_compiled
         if compiled is None:
             compiled = self._local_compiled = [
-                (self._local_controllers[loop.name].step,
+                (self._local_controllers[loop.name].compiled_step(),
                  self.flowsheet.sensor_tap(loop.pv),
                  self.flowsheet.actuator_tap(loop.mv))
                 for loop in self.loops if loop.name in self._local_enabled]

@@ -26,5 +26,15 @@ class ProcessUnit:
         """Advance the unit's state by ``dt_sec`` seconds of plant time."""
         raise NotImplementedError
 
+    def compile_kernel(self, np):
+        """Optional fused step for the flowsheet's kernel backends.
+
+        Returns a ``kernel(dt_sec)`` closure bit-identical to
+        :meth:`step` -- ``np`` is the numpy module for the "np" backend
+        and ``None`` for the pure-python one -- or ``None`` to keep
+        stepping this unit through :meth:`step`.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}({self.name!r})"

@@ -18,6 +18,7 @@ with holdup and pressure dynamics:
 from __future__ import annotations
 
 from repro.plant.components import Composition, N_SPECIES, SPECIES, Stream
+from repro.plant.ports import StreamPort
 from repro.plant.units.base import ProcessUnit, StreamSource
 from repro.plant.units.valve import ControlValve
 
@@ -71,6 +72,9 @@ class Depropanizer(ProcessUnit):
         self.temperature_c = temperature_c
         self.reboil_duty_pct = 50.0
         self.reboiler_tau_sec = reboiler_tau_sec
+        self.distillate_out_port = StreamPort()
+        self.bottoms_out_port = StreamPort()
+        self.overhead_gas_out_port = StreamPort()
         self.distillate_out = Stream.empty()
         self.bottoms_out = Stream.empty()
         self.overhead_gas_out = Stream.empty()
@@ -82,6 +86,37 @@ class Depropanizer(ProcessUnit):
             self.drum_holdup[i] = 0.5 * self.drum_capacity_mol * f
         for i, f in enumerate(heavy.fractions):
             self.sump_holdup[i] = 0.5 * self.sump_capacity_mol * f
+
+    # ------------------------------------------------------------------
+    # Stream outputs (port-backed; see TwoPhaseSeparator)
+    # ------------------------------------------------------------------
+    @property
+    def distillate_out(self) -> Stream:
+        return self.distillate_out_port.get()
+
+    @distillate_out.setter
+    def distillate_out(self, stream: Stream) -> None:
+        self.distillate_out_port.set_stream(stream)
+
+    @property
+    def bottoms_out(self) -> Stream:
+        return self.bottoms_out_port.get()
+
+    @bottoms_out.setter
+    def bottoms_out(self, stream: Stream) -> None:
+        self.bottoms_out_port.set_stream(stream)
+
+    @property
+    def overhead_gas_out(self) -> Stream:
+        return self.overhead_gas_out_port.get()
+
+    @overhead_gas_out.setter
+    def overhead_gas_out(self, stream: Stream) -> None:
+        self.overhead_gas_out_port.set_stream(stream)
+
+    def compile_kernel(self, np):
+        from repro.plant.kernels import column_kernel
+        return column_kernel(self, np)
 
     # ------------------------------------------------------------------
     # Control handles (PVs and MVs)

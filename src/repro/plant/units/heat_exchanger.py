@@ -14,6 +14,7 @@ range), which gives the chiller-temperature control loop a realistic handle.
 from __future__ import annotations
 
 from repro.plant.components import Stream
+from repro.plant.ports import StreamPort
 from repro.plant.thermo import sensible_duty_watts
 from repro.plant.units.base import ProcessUnit, StreamSource
 
@@ -31,9 +32,31 @@ class GasGasExchanger(ProcessUnit):
         self.hot_inlet = hot_inlet
         self.cold_inlet = cold_inlet
         self.effectiveness = effectiveness
+        self.hot_out_port = StreamPort()
+        self.cold_out_port = StreamPort()
         self.hot_out = Stream.empty()
         self.cold_out = Stream.empty()
         self.duty_watts = 0.0
+
+    @property
+    def hot_out(self) -> Stream:
+        return self.hot_out_port.get()
+
+    @hot_out.setter
+    def hot_out(self, stream: Stream) -> None:
+        self.hot_out_port.set_stream(stream)
+
+    @property
+    def cold_out(self) -> Stream:
+        return self.cold_out_port.get()
+
+    @cold_out.setter
+    def cold_out(self, stream: Stream) -> None:
+        self.cold_out_port.set_stream(stream)
+
+    def compile_kernel(self, np):
+        from repro.plant.kernels import gasgas_kernel
+        return gasgas_kernel(self, np)
 
     def step(self, dt_sec: float) -> None:
         hot = self.hot_inlet()
@@ -77,8 +100,21 @@ class Chiller(ProcessUnit):
         self.duty_pct = initial_duty_pct
         self.tau_sec = tau_sec
         self.outlet_temperature_c = self._target()
+        self.outlet_port = StreamPort()
         self.outlet = Stream.empty()
         self.duty_watts = 0.0
+
+    @property
+    def outlet(self) -> Stream:
+        return self.outlet_port.get()
+
+    @outlet.setter
+    def outlet(self, stream: Stream) -> None:
+        self.outlet_port.set_stream(stream)
+
+    def compile_kernel(self, np):
+        from repro.plant.kernels import chiller_kernel
+        return chiller_kernel(self, np)
 
     def set_duty(self, duty_pct: float) -> None:
         self.duty_pct = min(100.0, max(0.0, float(duty_pct)))

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.plant.components import Stream
+from repro.plant.ports import StreamPort
 from repro.plant.units.base import ProcessUnit, StreamSource
 
 
@@ -12,10 +13,23 @@ class Mixer(ProcessUnit):
     def __init__(self, name: str, inlets: list[StreamSource]) -> None:
         super().__init__(name)
         self.inlets = list(inlets)
+        self.outlet_port = StreamPort()
         self.outlet = Stream.empty()
 
     def add_inlet(self, source: StreamSource) -> None:
         self.inlets.append(source)
+
+    @property
+    def outlet(self) -> Stream:
+        return self.outlet_port.get()
+
+    @outlet.setter
+    def outlet(self, stream: Stream) -> None:
+        self.outlet_port.set_stream(stream)
+
+    def compile_kernel(self, np):
+        from repro.plant.kernels import mixer_kernel
+        return mixer_kernel(self, np)
 
     def step(self, dt_sec: float) -> None:
         self.outlet = Stream.mix([source() for source in self.inlets])

@@ -16,6 +16,7 @@ variable.  The model:
 from __future__ import annotations
 
 from repro.plant.components import Composition, N_SPECIES, Stream
+from repro.plant.ports import StreamPort
 from repro.plant.thermo import flash
 from repro.plant.units.base import ProcessUnit, StreamSource
 from repro.plant.units.valve import ControlValve
@@ -61,6 +62,8 @@ class TwoPhaseSeparator(ProcessUnit):
         initial_total = holdup_capacity_mol * initial_level_pct / 100.0
         self.holdup = [0.0] * N_SPECIES
         self._seed_holdup(initial_total)
+        self.vapor_out_port = StreamPort()
+        self.liquid_out_port = StreamPort()
         self.vapor_out = Stream.empty(temperature_c, pressure_kpa)
         self.liquid_out = Stream.empty(temperature_c, pressure_kpa)
         self.blow_by_flow = 0.0
@@ -72,6 +75,30 @@ class TwoPhaseSeparator(ProcessUnit):
         # Seed with a generic heavy-liquid composition; flushed quickly.
         seed = Composition({"C3": 0.6, "iC4": 0.2, "nC4": 0.2})
         self.holdup = [total * f for f in seed.fractions]
+
+    # ------------------------------------------------------------------
+    # Stream outputs live in ports so the fused kernels can hand raw
+    # fields downstream; the scalar path stores streams through the
+    # setters and nothing changes shape for callers.
+    @property
+    def vapor_out(self) -> Stream:
+        return self.vapor_out_port.get()
+
+    @vapor_out.setter
+    def vapor_out(self, stream: Stream) -> None:
+        self.vapor_out_port.set_stream(stream)
+
+    @property
+    def liquid_out(self) -> Stream:
+        return self.liquid_out_port.get()
+
+    @liquid_out.setter
+    def liquid_out(self, stream: Stream) -> None:
+        self.liquid_out_port.set_stream(stream)
+
+    def compile_kernel(self, np):
+        from repro.plant.kernels import separator_kernel
+        return separator_kernel(self, np)
 
     # ------------------------------------------------------------------
     @property

@@ -26,8 +26,16 @@ class ControlValve(ProcessUnit):
         self.actuator_tau_sec = actuator_tau_sec
 
     def set_command(self, opening_pct: float) -> None:
-        """Command a new opening (the actuator slews toward it)."""
-        self.command_pct = min(100.0, max(0.0, float(opening_pct)))
+        """Command a new opening (the actuator slews toward it).
+
+        The clamp is ``min(100.0, max(0.0, value))`` written as
+        conditionals -- bit-identical (two-argument min/max only take
+        the second argument on a strict compare) and call-free, since
+        every regulator writes its valve every plant step.
+        """
+        value = float(opening_pct)
+        value = value if value > 0.0 else 0.0
+        self.command_pct = value if value < 100.0 else 100.0
 
     def step(self, dt_sec: float) -> None:
         if self.actuator_tau_sec <= 0:

@@ -34,9 +34,11 @@ pytestmark = pytest.mark.slow
 EXPECTED_ACT = SENSOR_VALUE * CTRL_GAIN
 
 # Generous ceilings (CI runners are slow): locally the 100-node trial
-# takes ~1.5 s and the 256-node one ~3 s.
+# takes ~1.5 s, the 256-node one ~3 s, the 1000-node one ~6 s (slot
+# calendar + flood suppression, the fourth perf wave).
 WALL_CLOCK_100_SEC = 90.0
 WALL_CLOCK_256_SEC = 180.0
+WALL_CLOCK_1000_SEC = 300.0
 
 
 class TestHundredNodeCampaign:
@@ -111,6 +113,46 @@ class TestTwoFiftySixNodes:
             duration_sec=40.0, crash_primary_at_sec=12.0))
         assert result.failovers_executed >= 1
         assert result.active_controller_final == result.roles["ctrl_b"]
+
+
+class TestThousandNodes:
+    def test_failover_and_wall_clock_at_1000(self):
+        """The fourth-wave scale target: a 1000-node mesh (~10k links)
+        completes a crash-failover trial inside the slow-suite budget.
+        Flood suppression auto-gates on at this width
+        (``FLOOD_SUPPRESS_AUTO_NODES``); the failover pipeline must be
+        untouched by it."""
+        from repro.sim.clock import SEC as _SEC
+
+        config = WideGridConfig(
+            n_nodes=1000, area_m=300.0, radio_range_m=25.0, seed=1,
+            duration_sec=45.0, report_period_sec=15.0,
+            control_period_ticks=5 * _SEC,
+            heartbeat_timeout_ticks=15 * _SEC,
+            crash_primary_at_sec=10.0)
+        assert config.flood_suppression()[0] > 0  # auto-gate engaged
+        start = time.perf_counter()
+        rig = WideGridRig(config)
+        rig.run_for_seconds(config.duration_sec)
+        result = rig.collect()
+        elapsed = time.perf_counter() - start
+        assert elapsed < WALL_CLOCK_1000_SEC
+        assert result.n_nodes == 1000
+        assert result.crashes == 1
+        assert result.failovers_executed >= 1
+        assert result.active_controller_final == result.roles["ctrl_b"]
+        assert result.act_input == pytest.approx(EXPECTED_ACT)
+        # The suppression layer actually worked: some held relays were
+        # dropped as redundant, none of which cost a delivery above.
+        assert sum(a.floods_suppressed for a in rig.macs.values()) > 0
+
+    def test_suppression_can_be_forced_off(self):
+        config = WideGridConfig(n_nodes=1000, flood_suppress_threshold=0)
+        assert config.flood_suppression()[0] == 0
+        small = WideGridConfig(n_nodes=100)
+        assert small.flood_suppression()[0] == 0
+        forced = WideGridConfig(n_nodes=100, flood_suppress_threshold=3)
+        assert forced.flood_suppression() == (3, forced.frame_ticks())
 
 
 class TestMacLifetimeAtScale:
