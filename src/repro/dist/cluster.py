@@ -60,7 +60,8 @@ class LocalCluster:
                  lease_timeout: float | None = None,
                  worker_timeout: float | None = None,
                  heartbeat_period: float = 0.2,
-                 max_attempts: int | None = None) -> None:
+                 max_attempts: int | None = None,
+                 compress: bool = True) -> None:
         if mode not in ("thread", "subprocess"):
             raise ValueError(f"unknown cluster mode {mode!r}")
         self.mode = mode
@@ -69,6 +70,9 @@ class LocalCluster:
             (0 if mode == "thread" else 1)
         self.slots = slots
         self.heartbeat_period = heartbeat_period
+        # Forwarded to every worker and runner: False pins the whole
+        # cluster to raw frames (the interop/debug configuration).
+        self.compress = compress
         kwargs: dict[str, Any] = {}
         if lease_timeout is not None:
             kwargs["lease_timeout"] = lease_timeout
@@ -93,7 +97,8 @@ class LocalCluster:
         if self.mode == "thread":
             agent = WorkerAgent(self.address, processes=self.processes,
                                 slots=self.slots, name=name,
-                                heartbeat_period=self.heartbeat_period)
+                                heartbeat_period=self.heartbeat_period,
+                                compress=self.compress)
             return agent.start()
         env = dict(os.environ)
         src = str(self._src_root())
@@ -102,13 +107,16 @@ class LocalCluster:
         # Each worker leads its own process group (start_new_session),
         # so killing "the worker" takes its forked pool children with
         # it -- a bare SIGKILL on the agent alone would orphan them.
+        argv = [sys.executable, "-m", "repro.dist", "worker",
+                "--connect", self.address,
+                "--processes", str(self.processes),
+                "--slots", str(self.slots or 0),  # 0 = executor width
+                "--heartbeat", str(self.heartbeat_period),
+                "--name", name]
+        if not self.compress:
+            argv.append("--no-compress")
         return subprocess.Popen(
-            [sys.executable, "-m", "repro.dist", "worker",
-             "--connect", self.address,
-             "--processes", str(self.processes),
-             "--slots", str(self.slots or 0),  # 0 = executor width
-             "--heartbeat", str(self.heartbeat_period),
-             "--name", name],
+            argv,
             env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
             start_new_session=True)
 
@@ -140,7 +148,7 @@ class LocalCluster:
         """A client runner bound to this cluster (closed with it)."""
         runner = DistributedCampaignRunner(
             self.address, results_dir=results_dir,
-            max_attempts=max_attempts)
+            max_attempts=max_attempts, compress=self.compress)
         self._runners.append(runner)
         return runner
 

@@ -26,166 +26,47 @@ mirrors the local pool, where an exception propagates but a dead
 machine would have killed the whole campaign; here it only costs a
 re-run of the leased jobs on the survivors.
 
-All coordinator state is guarded by one lock; socket writes happen
-outside it (a slow peer must never stall the broker).  The class is
-self-contained and thread-per-connection: no asyncio, no selectors,
-just blocking reads, which keeps the failure surface small enough to
-reason about.
+Since PR 8 the broker core is asyncio-native
+(:class:`repro.dist.aiobroker.AsyncCoordinator`): one event loop on a
+dedicated thread, a reader/writer task pair per peer, and the reaper +
+status broadcaster as loop timers, which scales to thousands of
+concurrent connections where thread-per-connection topped out at tens.
+This class is the synchronous **facade** over that core -- same
+constructor, same ``start/stop/serve_forever/status`` surface, same
+``status()`` shape -- so the CLI, :class:`LocalCluster` and every
+existing caller are unchanged.
 """
 
 from __future__ import annotations
 
-import itertools
+import asyncio
 import socket
 import threading
 import time
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any
 
+from repro.dist.aiobroker import (
+    DEFAULT_LEASE_TIMEOUT,
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_WORKER_TIMEOUT,
+    AsyncCoordinator,
+    CoordinatorStats,
+    JobRecord,
+    Lease,
+)
 from repro.dist.protocol import (
     DEFAULT_PORT,
-    ConnectionClosed,
-    ProtocolError,
+    MSG_HELLO,
+    SUPPORTED_FEATURES,
     parse_address,
-    recv_message,
     send_message,
-    unpack_blob_list,
 )
 
 __all__ = ["Coordinator", "CoordinatorStats", "DEFAULT_PORT", "connect"]
 
-DEFAULT_LEASE_TIMEOUT = 300.0
-DEFAULT_WORKER_TIMEOUT = 15.0
-DEFAULT_MAX_ATTEMPTS = 3
-
-
-@dataclass
-class JobRecord:
-    """One submitted job: an opaque pre-pickled payload plus lease
-    bookkeeping.  ``attempts`` counts lease *grants*, so a job seen by
-    ``max_attempts`` workers without an answer is declared failed.
-
-    ``key`` is the broker-internal identity
-    (``c<client>b<batch>:<job_id>``): two clients are free to pick
-    colliding job ids, and one client's sequential batches reuse them,
-    so every queue, lease and wire frame between coordinator and
-    workers uses the namespaced key -- a straggler result for a
-    *previous* batch's job can then never settle the same id in a
-    later batch.  Only the frames back to the owning client carry its
-    original ``job_id``."""
-
-    key: str
-    job_id: str
-    payload: bytes
-    client_id: int
-    max_attempts: int
-    attempts: int = 0
-    # When the job entered the queue (monotonic); the gap to its first
-    # lease grant is the queue-wait the status stream reports.
-    submitted_at: float = 0.0
-    # Workers that already lost/timed out this job: retries prefer
-    # anyone else (falling back to them only when nobody else has a
-    # free slot, so exclusion can never starve a job).
-    excluded: set[int] = field(default_factory=set)
-
-
-@dataclass
-class Lease:
-    job: JobRecord
-    worker_id: int
-    deadline: float
-    # Which grant this lease represents; results echo it so a stale
-    # frame from a previous attempt on the SAME worker cannot be
-    # mistaken for the live one.
-    attempt: int = 0
-
-
-class _Peer:
-    """Shared connection plumbing: a socket plus a write lock so result
-    fan-in from many worker threads cannot interleave frames."""
-
-    def __init__(self, peer_id: int, sock: socket.socket, name: str) -> None:
-        self.id = peer_id
-        self.sock = sock
-        self.name = name
-        self.alive = True
-        self._send_lock = threading.Lock()
-
-    def send(self, header: dict[str, Any],
-             payload: bytes | None = None) -> bool:
-        """Best-effort framed send; a dead socket just reports False
-        (the reader thread owns the actual teardown)."""
-        with self._send_lock:
-            return self.send_unlocked(header, payload)
-
-    def send_unlocked(self, header: dict[str, Any],
-                      payload: bytes | None = None) -> bool:
-        """The raw send, for callers already holding ``_send_lock`` to
-        order multiple frames atomically."""
-        try:
-            send_message(self.sock, header, payload)
-            return True
-        except OSError:
-            self.alive = False
-            return False
-
-    def close(self) -> None:
-        self.alive = False
-        try:
-            self.sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        try:
-            self.sock.close()
-        except OSError:
-            pass
-
-
-class _Worker(_Peer):
-    def __init__(self, peer_id: int, sock: socket.socket, name: str,
-                 slots: int) -> None:
-        super().__init__(peer_id, sock, name)
-        self.slots = max(1, slots)
-        self.inflight: set[str] = set()
-        self.last_seen = time.monotonic()
-        # Lease-latency health: grants and cumulative queue-wait of the
-        # jobs granted to this worker.
-        self.leases_granted = 0
-        self.lease_wait_total = 0.0
-
-
-class _Client(_Peer):
-    def __init__(self, peer_id: int, sock: socket.socket, name: str) -> None:
-        super().__init__(peer_id, sock, name)
-        self.outstanding: set[str] = set()
-        self.completed = 0
-        self.failed = 0
-        self.batches = 0
-        # Status-stream subscription (set by a "subscribe" frame).  The
-        # broadcaster thread pushes "status_update" frames at
-        # ``subscribe_period`` while ``subscribed``.
-        self.subscribed = False
-        self.subscribe_period = 1.0
-        self.last_push = 0.0
-        # When the current batch's first jobs arrived: progress rate and
-        # ETA are measured against this origin.
-        self.batch_started = 0.0
-
-
-@dataclass
-class CoordinatorStats:
-    """Counters the status endpoint and tests read."""
-
-    jobs_submitted: int = 0
-    jobs_completed: int = 0
-    jobs_failed: int = 0
-    jobs_requeued: int = 0
-    workers_dropped: int = 0
-    results_ignored: int = 0
-    # Trace-ring rows evicted inside completed runs (reported by the
-    # workers per result frame): silent data loss made visible.
-    trace_dropped: int = 0
+# Re-exported for callers/tests that import these from here.
+_REEXPORTED = (JobRecord, Lease, DEFAULT_LEASE_TIMEOUT,
+               DEFAULT_WORKER_TIMEOUT, DEFAULT_MAX_ATTEMPTS)
 
 
 class Coordinator:
@@ -195,30 +76,31 @@ class Coordinator:
     worker loses the job even while its heartbeat thread stays chatty);
     ``worker_timeout`` is how long a silent worker survives between
     heartbeats before all its leases are revoked.
+
+    The listener socket is bound here, synchronously, so ``.port`` is
+    readable before :meth:`start`; the asyncio core adopts it when the
+    loop thread comes up.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
                  worker_timeout: float = DEFAULT_WORKER_TIMEOUT,
                  max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> None:
-        self.lease_timeout = lease_timeout
-        self.worker_timeout = worker_timeout
-        self.max_attempts = max(1, max_attempts)
-        self.stats = CoordinatorStats()
-        self._lock = threading.Lock()
-        self._pending: deque[JobRecord] = deque()
-        self._jobs: dict[str, JobRecord] = {}
-        self._leases: dict[str, Lease] = {}
-        self._workers: dict[int, _Worker] = {}
-        self._clients: dict[int, _Client] = {}
-        self._peer_ids = itertools.count(1)
-        self._threads: list[threading.Thread] = []
-        self._stopped = threading.Event()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(64)
-        self.host, self.port = self._listener.getsockname()[:2]
+        # Deep backlog: the 1000-client connect ramp arrives faster
+        # than the loop can accept when the host is busy.
+        self._listener.listen(1024)
+        self._listener.setblocking(False)
+        self._stopped = threading.Event()
+        self._core = AsyncCoordinator(
+            self._listener, lease_timeout=lease_timeout,
+            worker_timeout=worker_timeout, max_attempts=max_attempts,
+            on_stop=self._stopped.set)
+        self.host, self.port = self._core.host, self._core.port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
         self._started = False
 
     # ------------------------------------------------------------------
@@ -228,40 +110,81 @@ class Coordinator:
     def address(self) -> str:
         return f"{self.host}:{self.port}"
 
+    @property
+    def stats(self) -> CoordinatorStats:
+        return self._core.stats
+
+    @property
+    def lease_timeout(self) -> float:
+        return self._core.lease_timeout
+
+    @property
+    def worker_timeout(self) -> float:
+        return self._core.worker_timeout
+
+    @property
+    def max_attempts(self) -> int:
+        return self._core.max_attempts
+
     def start(self) -> "Coordinator":
-        """Spawn the accept and reaper threads; returns self."""
+        """Spawn the event-loop thread and wait until the broker is
+        accepting connections; returns self."""
         if self._started:
             return self
         self._started = True
-        for target, name in ((self._accept_loop, "dist-accept"),
-                             (self._reaper_loop, "dist-reaper"),
-                             (self._stream_loop, "dist-status-stream")):
-            thread = threading.Thread(target=target, name=name, daemon=True)
-            thread.start()
-            self._threads.append(thread)
+        serving = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop_main, args=(serving,),
+            name="dist-aioloop", daemon=True)
+        self._thread.start()
+        serving.wait(timeout=10.0)
         return self
+
+    def _loop_main(self, serving: threading.Event) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._core.run(on_serving=serving.set))
+        finally:
+            # Unblock a start() that raced a failed bring-up, and make
+            # sure the stop event fires even on an abnormal loop exit.
+            serving.set()
+            self._stopped.set()
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                asyncio.set_event_loop(None)
+                loop.close()
 
     def serve_forever(self) -> None:
         """Start and block until :meth:`stop` (the CLI entry point)."""
         self.start()
         self._stopped.wait()
+        if self._thread is not None and \
+                self._thread is not threading.current_thread():
+            self._thread.join(timeout=5.0)
 
     def stop(self) -> None:
         """Shut the broker down: workers are told to exit, every socket
         is closed, pending jobs are abandoned (clients see the drop)."""
-        if self._stopped.is_set():
-            return
         self._stopped.set()
-        with self._lock:
-            peers = list(self._workers.values()) + list(self._clients.values())
-        for peer in peers:
-            if isinstance(peer, _Worker):
-                peer.send({"type": "shutdown"})
-            peer.close()
-        try:
-            self._listener.close()
-        except OSError:
-            pass
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            try:
+                loop.call_soon_threadsafe(self._core.request_stop)
+            except RuntimeError:
+                pass  # loop tore down between the check and the call
+            thread = self._thread
+            if thread is not None and \
+                    thread is not threading.current_thread():
+                thread.join(timeout=10.0)
+        else:
+            self._core.request_stop()
+            try:
+                self._listener.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "Coordinator":
         return self.start()
@@ -270,457 +193,43 @@ class Coordinator:
         self.stop()
 
     # ------------------------------------------------------------------
-    # Accept / per-connection readers
-    # ------------------------------------------------------------------
-    def _accept_loop(self) -> None:
-        while not self._stopped.is_set():
-            try:
-                sock, _addr = self._listener.accept()
-            except OSError:
-                return  # listener closed by stop()
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            thread = threading.Thread(target=self._serve_peer, args=(sock,),
-                                      name="dist-peer", daemon=True)
-            thread.start()
-
-    def _serve_peer(self, sock: socket.socket) -> None:
-        """Handshake then dispatch to the role-specific read loop.  A
-        malformed hello (wrong types, bad frame) just drops the
-        connection -- a bad peer must not kill the thread with a
-        traceback or leak the accepted socket."""
-        try:
-            header, _payload = recv_message(sock)
-            if header.get("type") != "hello":
-                raise ProtocolError("expected hello")
-            peer_id = next(self._peer_ids)
-            name = str(header.get("name", f"peer-{peer_id}"))
-            role = header.get("role")
-            if role == "worker":
-                slots = int(header.get("slots", 1))
-            elif role != "client":
-                raise ProtocolError(f"unknown role {role!r}")
-        except (ConnectionClosed, ProtocolError, OSError, ValueError,
-                TypeError):
-            sock.close()
-            return
-        if role == "worker":
-            worker = _Worker(peer_id, sock, name, slots)
-            with self._lock:
-                self._workers[peer_id] = worker
-            worker.send({"type": "welcome", "worker_id": peer_id})
-            self._dispatch()
-            self._worker_loop(worker)
-        else:
-            client = _Client(peer_id, sock, name)
-            with self._lock:
-                self._clients[peer_id] = client
-            client.send({"type": "welcome", "client_id": peer_id})
-            self._client_loop(client)
-
-    def _worker_loop(self, worker: _Worker) -> None:
-        try:
-            while not self._stopped.is_set():
-                header, payload = recv_message(worker.sock)
-                kind = header["type"]
-                if kind == "heartbeat":
-                    worker.last_seen = time.monotonic()
-                elif kind == "result":
-                    worker.last_seen = time.monotonic()
-                    self._on_result(worker, str(header["job_id"]),
-                                    bool(header["ok"]),
-                                    header.get("error"), payload,
-                                    retryable=bool(header.get("retryable")),
-                                    attempt=int(header.get("attempt", 0)),
-                                    trace_dropped=int(
-                                        header.get("trace_dropped", 0)))
-                elif kind == "goodbye":
-                    break
-        except (ConnectionClosed, ProtocolError, OSError,
-                KeyError, ValueError, TypeError):
-            pass  # malformed frame == broken peer: drop it
-        finally:
-            self._drop_worker(worker, "disconnected")
-
-    def _client_loop(self, client: _Client) -> None:
-        try:
-            while not self._stopped.is_set():
-                header, payload = recv_message(client.sock)
-                kind = header["type"]
-                if kind == "submit":
-                    self._on_submit(client, header, payload)
-                elif kind == "status":
-                    client.send({"type": "status", "status": self.status()})
-                elif kind == "subscribe":
-                    try:
-                        period = float(header.get("period", 1.0))
-                    except (TypeError, ValueError):
-                        period = 1.0
-                    client.subscribe_period = max(0.1, period)
-                    client.last_push = 0.0
-                    client.subscribed = True
-                    client.send({"type": "subscribed",
-                                 "period": client.subscribe_period})
-                elif kind == "unsubscribe":
-                    client.subscribed = False
-                elif kind == "shutdown":
-                    # Stop first (so the requester observes a stopped
-                    # broker the moment its ack/EOF arrives), then ack
-                    # best-effort -- stop() may already have closed us.
-                    self.stop()
-                    client.send({"type": "stopping"})
-                    break
-                elif kind == "goodbye":
-                    break
-        except (ConnectionClosed, ProtocolError, OSError,
-                KeyError, ValueError, TypeError):
-            pass  # malformed frame == broken peer: drop it
-        finally:
-            self._drop_client(client)
-
-    # ------------------------------------------------------------------
-    # Leasing core (all under self._lock; sends deferred outside it)
-    # ------------------------------------------------------------------
-    def _on_submit(self, client: _Client, header: dict[str, Any],
-                   payload: bytes) -> None:
-        job_ids = [str(j) for j in header.get("job_ids", [])]
-        # Length-prefixed split, NOT pickle: the broker never unpickles
-        # client data -- only workers (which execute the jobs anyway)
-        # unpickle the individual blobs.
-        blobs = unpack_blob_list(payload)
-        if len(blobs) != len(job_ids):
-            client.send({"type": "error",
-                         "error": "job_ids/payload length mismatch"})
-            return
-        max_attempts = int(header.get("max_attempts", self.max_attempts))
-        now = time.monotonic()
-        with self._lock:
-            if not client.outstanding:
-                # A fresh batch on a reused connection: the done-frame
-                # counters describe one batch, not the connection's life.
-                client.completed = client.failed = 0
-                client.batch_started = now
-            client.batches += 1
-            prefix = f"c{client.id}b{client.batches}"
-            for job_id, blob in zip(job_ids, blobs):
-                record = JobRecord(key=f"{prefix}:{job_id}",
-                                   job_id=job_id, payload=blob,
-                                   client_id=client.id,
-                                   max_attempts=max(1, max_attempts),
-                                   submitted_at=now)
-                self._jobs[record.key] = record
-                self._pending.append(record)
-                client.outstanding.add(record.key)
-            self.stats.jobs_submitted += len(job_ids)
-        # No "accepted" ack: a fast batch could complete (result + done
-        # frames) before an ack sent here, leaving a stray frame that
-        # would desync the client's next status/shutdown exchange.  The
-        # result stream itself is the acknowledgement.
-        self._dispatch()
-
-    def _dispatch(self) -> None:
-        """Grant pending jobs to workers with free slots (FIFO over the
-        queue, least-loaded worker first, avoiding workers that
-        already lost the job).  Sends happen outside the lock; a
-        failed send drops the worker, which requeues."""
-        while True:
-            with self._lock:
-                # Settled jobs leave stale entries in the deque (cheap
-                # lazy cleanup instead of O(n) removes under the lock).
-                while self._pending and \
-                        self._pending[0].key not in self._jobs:
-                    self._pending.popleft()
-                if not self._pending:
-                    return
-                candidates = [w for w in self._workers.values()
-                              if w.alive and len(w.inflight) < w.slots]
-                if not candidates:
-                    return
-                job = self._pending[0]
-                eligible = [w for w in candidates
-                            if w.id not in job.excluded] or candidates
-                worker = min(eligible,
-                             key=lambda w: (len(w.inflight), w.id))
-                self._pending.popleft()
-                job.attempts += 1
-                worker.inflight.add(job.key)
-                now = time.monotonic()
-                worker.leases_granted += 1
-                worker.lease_wait_total += max(0.0, now - job.submitted_at)
-                self._leases[job.key] = Lease(
-                    job=job, worker_id=worker.id,
-                    deadline=now + self.lease_timeout,
-                    attempt=job.attempts)
-            sent = worker.send({"type": "job", "job_id": job.key,
-                                "attempt": job.attempts}, job.payload)
-            if not sent:
-                self._drop_worker(worker, "send failed")
-
-    def _on_result(self, worker: _Worker, key: str, ok: bool,
-                   error: str | None, payload: bytes,
-                   retryable: bool = False, attempt: int = 0,
-                   trace_dropped: int = 0) -> None:
-        delivery: Callable[[], None] | None = None
-        settled = False
-        with self._lock:
-            job = self._jobs.get(key)
-            if job is None:
-                # Stale: the job was settled earlier (first result won,
-                # or its client went away).  Free the bookkeeping only.
-                worker.inflight.discard(key)
-                self.stats.results_ignored += 1
-            elif not ok and retryable:
-                # The worker is alive but *lost* the execution (its pool
-                # child died): requeue within the attempt budget -- but
-                # only if this worker still holds the lease *for this
-                # attempt*; a revoked or re-granted lease means the job
-                # is already someone else's (or a newer grant's)
-                # problem, and revoking it here would burn the budget
-                # under a live execution.
-                lease = self._leases.get(key)
-                if (lease is None or lease.worker_id != worker.id
-                        or (attempt and lease.attempt != attempt)):
-                    self.stats.results_ignored += 1
-                else:
-                    worker.inflight.discard(key)
-                    delivery = self._requeue_locked(
-                        job, f"execution lost: {error}",
-                        exclude_worker=worker.id)
-            else:
-                # Success (or a deterministic job failure): first
-                # result wins regardless of which attempt produced it.
-                self._settle_locked(job)
-                worker.inflight.discard(key)
-                settled = True
-                if ok and trace_dropped > 0:
-                    self.stats.trace_dropped += trace_dropped
-        if settled:
-            self._deliver(job, ok, error, payload)
-        elif delivery is not None:
-            delivery()
-        # Always redispatch: even a stale result freed a worker slot.
-        self._dispatch()
-
-    def _settle_locked(self, job: JobRecord) -> None:
-        """Remove a job from every queue/lease (caller holds the lock)."""
-        del self._jobs[job.key]
-        lease = self._leases.pop(job.key, None)
-        if lease is not None:
-            holder = self._workers.get(lease.worker_id)
-            if holder is not None:
-                holder.inflight.discard(job.key)
-        # A stale entry may remain in self._pending; _dispatch skips
-        # entries whose key is no longer registered.
-
-    def _deliver(self, job: JobRecord, ok: bool, error: str | None,
-                 payload: bytes | None) -> None:
-        """Forward one settled job to its client (+ ``done`` when that
-        client's batch is drained).
-
-        The outstanding-set update and the sends happen under the
-        client's send lock: without it, two threads delivering the last
-        two jobs could interleave so that the drained thread's ``done``
-        frame overtakes the other thread's ``result`` frame, and the
-        client (which treats ``done`` as "every result has been sent")
-        would drop a completed job.  Lock order is send-lock outer,
-        state-lock inner -- nothing in the broker sends while holding
-        the state lock, so there is no inversion."""
-        with self._lock:
-            client = self._clients.get(job.client_id)
-            if ok:
-                self.stats.jobs_completed += 1
-            else:
-                self.stats.jobs_failed += 1
-            if client is None:
-                return
-        with client._send_lock:
-            with self._lock:
-                client.outstanding.discard(job.key)
-                if ok:
-                    client.completed += 1
-                else:
-                    client.failed += 1
-                drained = not client.outstanding
-                completed, failed = client.completed, client.failed
-            header: dict[str, Any] = {"type": "result",
-                                      "job_id": job.job_id,
-                                      "ok": ok, "attempts": job.attempts}
-            if error is not None:
-                header["error"] = error
-            client.send_unlocked(header, payload)
-            if drained:
-                client.send_unlocked({"type": "done",
-                                      "completed": completed,
-                                      "failed": failed})
-
-    def _requeue_locked(self, job: JobRecord, reason: str,
-                        exclude_worker: int | None = None,
-                        ) -> Callable[[], None] | None:
-        """Take a lease back (caller holds the lock).  Returns a deferred
-        failure delivery when the job is out of attempts.
-        ``exclude_worker`` marks the worker that just lost the job, so
-        the retry lands elsewhere whenever anyone else has capacity."""
-        self._leases.pop(job.key, None)
-        if job.attempts >= job.max_attempts:
-            del self._jobs[job.key]
-            message = (f"worker lost after {job.attempts} "
-                       f"attempt(s): {reason}")
-            return lambda: self._deliver(job, False, message, None)
-        if exclude_worker is not None:
-            job.excluded.add(exclude_worker)
-        self.stats.jobs_requeued += 1
-        self._pending.appendleft(job)
-        return None
-
-    def _drop_worker(self, worker: _Worker, reason: str) -> None:
-        """Remove a worker and requeue everything it was leasing."""
-        deliveries: list[Callable[[], None]] = []
-        with self._lock:
-            if self._workers.pop(worker.id, None) is None:
-                return  # already dropped by the reaper
-            self.stats.workers_dropped += 1
-            for key in sorted(worker.inflight):
-                lease = self._leases.get(key)
-                if lease is None or lease.worker_id != worker.id:
-                    continue
-                delivery = self._requeue_locked(lease.job, reason)
-                if delivery is not None:
-                    deliveries.append(delivery)
-            worker.inflight.clear()
-        worker.close()
-        for delivery in deliveries:
-            delivery()
-        self._dispatch()
-
-    def _drop_client(self, client: _Client) -> None:
-        """Forget a client: its unfinished jobs are cancelled (workers
-        already executing them will report into the void)."""
-        with self._lock:
-            if self._clients.pop(client.id, None) is None:
-                return
-            for key in list(client.outstanding):
-                job = self._jobs.get(key)
-                if job is not None:
-                    self._settle_locked(job)
-        client.close()
-
-    # ------------------------------------------------------------------
-    # Reaper: heartbeat liveness + lease deadlines
-    # ------------------------------------------------------------------
-    def _reap_period(self) -> float:
-        return min(1.0, max(0.05, min(self.worker_timeout,
-                                      self.lease_timeout) / 4.0))
-
-    def _reaper_loop(self) -> None:
-        while not self._stopped.wait(self._reap_period()):
-            now = time.monotonic()
-            with self._lock:
-                silent = [w for w in self._workers.values()
-                          if now - w.last_seen > self.worker_timeout]
-                expired = [lease for lease in self._leases.values()
-                           if now > lease.deadline]
-            for worker in silent:
-                self._drop_worker(worker, "heartbeat timeout")
-            deliveries: list[Callable[[], None]] = []
-            with self._lock:
-                for lease in expired:
-                    current = self._leases.get(lease.job.key)
-                    if current is not lease:
-                        continue  # settled or already requeued
-                    holder = self._workers.get(lease.worker_id)
-                    if holder is not None:
-                        holder.inflight.discard(lease.job.key)
-                    delivery = self._requeue_locked(
-                        lease.job, "lease deadline expired",
-                        exclude_worker=lease.worker_id)
-                    if delivery is not None:
-                        deliveries.append(delivery)
-            for delivery in deliveries:
-                delivery()
-            if silent or expired:
-                self._dispatch()
-
-    # ------------------------------------------------------------------
-    # Status stream: push "status_update" frames to subscribed clients
-    # ------------------------------------------------------------------
-    def _stream_loop(self) -> None:
-        """Broadcast the status snapshot to subscribers at their
-        requested periods.  One snapshot is shared per tick (a dozen
-        subscribers must not take the state lock a dozen times);
-        sends happen outside the lock and a failed push just marks the
-        peer unsubscribed -- its reader thread owns the teardown."""
-        while not self._stopped.wait(0.25):
-            now = time.monotonic()
-            with self._lock:
-                due = [c for c in self._clients.values()
-                       if c.subscribed and c.alive
-                       and now - c.last_push >= c.subscribe_period]
-            if not due:
-                continue
-            snapshot = self.status()
-            for client in due:
-                client.last_push = now
-                if not client.send({"type": "status_update",
-                                    "status": snapshot}):
-                    client.subscribed = False
-
-    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def status(self) -> dict[str, Any]:
         """JSON-able snapshot (the CLI status line, the status stream,
-        the obs bridge and tests read it).
+        the obs bridge and tests read it); see
+        :meth:`AsyncCoordinator.build_status` for the shape."""
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            future = asyncio.run_coroutine_threadsafe(
+                self._core.status_async(), loop)
+            try:
+                return future.result(timeout=10.0)
+            except (asyncio.CancelledError, RuntimeError):
+                pass  # loop stopped mid-flight: fall through
+        # Loop not running (pre-start or post-stop): nothing mutates
+        # the state concurrently, a direct build is safe.
+        return self._core.build_status()
 
-        ``workers``/``clients``/``stats`` keep their original shapes
-        (tests index into them); worker entries gain health fields and
-        ``campaigns`` adds per-client batch progress with a completion
-        rate and ETA measured from the batch's first submit.
-        """
-        now = time.monotonic()
-        with self._lock:
-            campaigns = []
-            for c in sorted(self._clients.values(), key=lambda c: c.id):
-                settled = c.completed + c.failed
-                if not (c.outstanding or settled):
-                    continue  # idle control connections are not campaigns
-                elapsed = max(1e-9, now - c.batch_started)
-                rate = settled / elapsed if c.batch_started else 0.0
-                campaigns.append({
-                    "client_id": c.id, "name": c.name,
-                    "outstanding": len(c.outstanding),
-                    "completed": c.completed, "failed": c.failed,
-                    "batches": c.batches,
-                    "rate_per_sec": rate,
-                    "eta_sec": (len(c.outstanding) / rate
-                                if rate > 0 and c.outstanding else None),
-                })
-            return {
-                "address": self.address,
-                "pending": len(self._pending),
-                "leased": len(self._leases),
-                "workers": [
-                    {"id": w.id, "name": w.name, "slots": w.slots,
-                     "inflight": len(w.inflight),
-                     "last_seen_age_sec": max(0.0, now - w.last_seen),
-                     "leases_granted": w.leases_granted,
-                     "lease_wait_avg_sec": (
-                         w.lease_wait_total / w.leases_granted
-                         if w.leases_granted else 0.0)}
-                    for w in sorted(self._workers.values(),
-                                    key=lambda w: w.id)],
-                "clients": len(self._clients),
-                "subscribers": sum(1 for c in self._clients.values()
-                                   if c.subscribed),
-                "campaigns": campaigns,
-                "stats": dict(self.stats.__dict__),
-            }
+    # Test/diagnostic hooks into the loop core.
+    @property
+    def core(self) -> AsyncCoordinator:
+        return self._core
 
 
 def connect(address: str, role: str, name: str = "",
             timeout: float = 10.0, retry_period: float = 0.1,
-            slots: int | None = None) -> socket.socket:
+            slots: int | None = None,
+            features: tuple[str, ...] | list[str] | None = None,
+            ) -> socket.socket:
     """Dial a coordinator and complete the hello handshake, retrying
     until ``timeout`` so freshly-forked peers can race the listener up.
-    Shared by the worker agent, the client runner and the CLI."""
+    Shared by the worker agent, the client runner and the CLI.
+
+    ``features`` advertises optional protocol extensions (see
+    ``SUPPORTED_FEATURES``); ``None`` advertises none, which every
+    coordinator accepts -- that is the uncompressed-interop path.
+    """
     host, port = parse_address(address)
     deadline = time.monotonic() + timeout
     last_error: Exception | None = None
@@ -737,8 +246,10 @@ def connect(address: str, role: str, name: str = "",
             time.sleep(retry_period)
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     sock.settimeout(None)
-    hello: dict[str, Any] = {"type": "hello", "role": role, "name": name}
+    hello: dict[str, Any] = {"type": MSG_HELLO, "role": role, "name": name}
     if slots is not None:
         hello["slots"] = slots
+    if features:
+        hello["features"] = [f for f in features if f in SUPPORTED_FEATURES]
     send_message(sock, hello)
     return sock

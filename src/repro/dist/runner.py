@@ -33,20 +33,69 @@ local pool propagates a worker exception.
 
 from __future__ import annotations
 
+import io
+import pickle
 import socket
+import sys
+import types
 from typing import Any, Callable, Sequence
 
 from repro.dist import coordinator as coordinator_mod
 from repro.dist.protocol import (
+    FEATURE_BATCH,
+    FEATURE_ZLIB,
     ConnectionClosed,
-    dumps_payload,
+    import_attr,
     loads_payload,
+    negotiate_features,
     pack_blob_list,
     recv_message,
     send_message,
+    unpack_blob_list,
 )
 from repro.scenarios.runner import CampaignResult, _run_record, _slug, summarize
 from repro.scenarios.spec import Scenario
+
+
+def _main_module_name() -> str | None:
+    """The importable name of the module running as ``__main__``, when
+    runpy recorded one (``python -m pkg.mod`` sets
+    ``__main__.__spec__.name = "pkg.mod"``); None for plain scripts."""
+    spec = getattr(sys.modules.get("__main__"), "__spec__", None)
+    name = getattr(spec, "name", None)
+    return name if name and name != "__main__" else None
+
+
+class _PortablePickler(pickle.Pickler):
+    """Submit-side pickler that rebinds ``__main__`` globals.
+
+    ``python -m pkg.mod`` executes ``pkg.mod`` under the name
+    ``__main__``, so its functions *and classes* pickle as
+    ``__main__.<qualname>`` -- references no worker process can resolve
+    (their ``__main__`` is the worker CLI), which turns every job into
+    a deterministic unpickle failure.  Any class or function whose home
+    module is ``__main__`` is shipped as an ``import_attr`` call
+    against the importable twin instead.  Only the client's submit path
+    pays the per-object hook; result pickling stays stock.
+    """
+
+    def reducer_override(self, obj: Any) -> Any:
+        if (isinstance(obj, (type, types.FunctionType))
+                and getattr(obj, "__module__", None) == "__main__"):
+            name = _main_module_name()
+            if name is not None:
+                try:
+                    import_attr(name, obj.__qualname__)
+                except Exception:
+                    return NotImplemented  # e.g. <locals> -- stock path
+                return (import_attr, (name, obj.__qualname__))
+        return NotImplemented
+
+
+def _dumps_portable(value: Any) -> bytes:
+    buffer = io.BytesIO()
+    _PortablePickler(buffer, protocol=pickle.HIGHEST_PROTOCOL).dump(value)
+    return buffer.getvalue()
 
 
 class DistributedJobError(RuntimeError):
@@ -71,32 +120,45 @@ class DistributedCampaignRunner:
 
     def __init__(self, address: str, results_dir: str | None = None,
                  max_attempts: int | None = None,
-                 connect_timeout: float = 10.0, name: str = "") -> None:
+                 connect_timeout: float = 10.0, name: str = "",
+                 compress: bool = True) -> None:
         self.address = address
         self.results_dir = results_dir
         self.max_attempts = max_attempts
         self.connect_timeout = connect_timeout
         self.name = name or "campaign-client"
+        self.compress = compress
         self._sock: socket.socket | None = None
+        # Negotiated per connection at welcome; plain until then.
+        self._tx_compress = False
 
     # ------------------------------------------------------------------
     # Connection lifecycle
     # ------------------------------------------------------------------
     def _connection(self) -> socket.socket:
         if self._sock is None:
+            # "batch" is always advertised (the coordinator then folds
+            # result bursts into one result_batch frame toward us);
+            # zlib only when compression is on.
+            features = ((FEATURE_ZLIB, FEATURE_BATCH) if self.compress
+                        else (FEATURE_BATCH,))
             sock = coordinator_mod.connect(
                 self.address, role="client", name=self.name,
-                timeout=self.connect_timeout)
+                timeout=self.connect_timeout, features=features)
             header, _ = recv_message(sock)
             if header.get("type") != "welcome":
                 sock.close()
                 raise ConnectionError(
                     f"unexpected handshake reply {header.get('type')!r}")
+            negotiated = negotiate_features(header.get("features"))
+            self._tx_compress = (self.compress
+                                 and FEATURE_ZLIB in negotiated)
             self._sock = sock
         return self._sock
 
     def close(self) -> None:
         sock, self._sock = self._sock, None
+        self._tx_compress = False
         if sock is not None:
             try:
                 send_message(sock, {"type": "goodbye"})
@@ -145,12 +207,26 @@ class DistributedCampaignRunner:
             return []
         sock = self._connection()
         job_ids = [f"j{i:06d}" for i in range(len(jobs))]
-        blobs = [dumps_payload((fn, job)) for job in jobs]
+        blobs = [_dumps_portable((fn, job)) for job in jobs]
         header: dict[str, Any] = {"type": "submit", "job_ids": job_ids}
         if self.max_attempts is not None:
             header["max_attempts"] = self.max_attempts
-        send_message(sock, header, pack_blob_list(blobs))
+        # The submit envelope is the fattest client frame (every job
+        # pickle in one blob list): the negotiated zlib pass pays for
+        # itself most here.
+        send_message(sock, header, pack_blob_list(blobs),
+                     compress=self._tx_compress)
         outcomes: dict[int, tuple[bool, Any, int]] = {}
+
+        def settle(meta: dict[str, Any], blob: Any) -> None:
+            index = int(str(meta["job_id"])[1:])
+            ok = bool(meta["ok"])
+            value = (loads_payload(blob) if ok
+                     else str(meta.get("error", "job failed")))
+            outcomes[index] = (ok, value, int(meta.get("attempts", 1)))
+            if on_raw_result is not None:
+                on_raw_result(index, ok, value)
+
         while True:
             try:
                 reply, payload = recv_message(sock)
@@ -162,13 +238,11 @@ class DistributedCampaignRunner:
                 ) from exc
             kind = reply["type"]
             if kind == "result":
-                index = int(str(reply["job_id"])[1:])
-                ok = bool(reply["ok"])
-                value = (loads_payload(payload) if ok
-                         else str(reply.get("error", "job failed")))
-                outcomes[index] = (ok, value, int(reply.get("attempts", 1)))
-                if on_raw_result is not None:
-                    on_raw_result(index, ok, value)
+                settle(reply, payload)
+            elif kind == "result_batch":
+                for meta, blob in zip(reply["results"],
+                                      unpack_blob_list(payload)):
+                    settle(meta, blob)
             elif kind == "done":
                 # The coordinator sends "done" strictly after the last
                 # result frame for this batch.

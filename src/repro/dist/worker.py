@@ -19,6 +19,14 @@ seconds; the *jobs* may take arbitrarily long (the coordinator's lease
 deadline, not the heartbeat, bounds them).  Exceptions raised by a job
 are caught and reported as failed results with the traceback text --
 the agent itself only dies on coordinator loss or :meth:`stop`.
+
+The hello frame advertises the optional protocol features from
+:mod:`repro.dist.protocol`; against a coordinator that negotiates them
+the agent compresses its frames (``zlib``) and coalesces results into
+``result_batch`` frames (``batch``): finished jobs pile into an outbox
+while a flush is on the wire, and the next flush ships all of them as
+one frame -- one syscall for N wide-grid records, self-clocking to
+however fast the socket drains.
 """
 
 from __future__ import annotations
@@ -31,12 +39,26 @@ from typing import Any
 
 from repro.dist import coordinator as coordinator_mod
 from repro.dist.protocol import (
+    FEATURE_BATCH,
+    FEATURE_ZLIB,
+    MSG_GOODBYE,
+    MSG_HEARTBEAT,
+    MSG_JOB,
+    MSG_JOB_BATCH,
+    MSG_RESULT,
+    MSG_RESULT_BATCH,
+    MSG_SHUTDOWN,
+    MSG_WELCOME,
     ConnectionClosed,
     ProtocolError,
     dumps_payload,
     loads_payload,
+    negotiate_features,
+    pack_blob_list,
     recv_message,
     send_message,
+    split_batch,
+    unpack_blob_list,
 )
 
 DEFAULT_HEARTBEAT_PERIOD = 2.0
@@ -57,6 +79,12 @@ def execute_job(payload: bytes) -> tuple[bool, Any]:
         return False, traceback.format_exc()
 
 
+def _result_size(entry: tuple[dict[str, Any], bytes | None]) -> int:
+    """Payload bytes one outbox entry contributes to a batched frame."""
+    payload = entry[1]
+    return len(payload) if payload is not None else 0
+
+
 def _trace_dropped(value: Any) -> int:
     """Rows the run's bounded ``Trace`` ring evicted, when the result
     is a campaign run record; 0 for arbitrary ``map_jobs`` values."""
@@ -71,24 +99,43 @@ class WorkerAgent:
 
     ``processes`` selects the executor (see module docs); ``slots``
     defaults to the executor width, i.e. the agent leases exactly as
-    many jobs as it can run concurrently.
+    many jobs as it can run concurrently.  ``compress=False`` stops the
+    agent from advertising the ``zlib`` feature (frames stay raw both
+    ways -- the interop escape hatch for debugging with packet dumps).
     """
 
     def __init__(self, address: str, processes: int = 1,
                  slots: int | None = None, name: str = "",
                  heartbeat_period: float = DEFAULT_HEARTBEAT_PERIOD,
-                 connect_timeout: float = 10.0) -> None:
+                 connect_timeout: float = 10.0,
+                 compress: bool = True) -> None:
         self.address = address
         self.processes = max(0, processes)
         self.slots = slots if slots is not None else max(1, self.processes)
         self.name = name or f"worker-{id(self):x}"
         self.heartbeat_period = heartbeat_period
         self.connect_timeout = connect_timeout
+        self.compress = compress
         self._sock: socket.socket | None = None
         self._executor: Executor | None = None
+        # Two locks with distinct jobs: _wire_lock serializes the
+        # actual socket writes (a heartbeat injected between the
+        # sendall(2) calls of a multi-megabyte result frame would
+        # corrupt the stream); _send_lock only guards the outbox /
+        # _flushing state, so producers can keep appending while a
+        # flush's sendall blocks on the wire.
+        self._wire_lock = threading.Lock()
         self._send_lock = threading.Lock()
         self._stopped = threading.Event()
         self._thread: threading.Thread | None = None
+        # Negotiated at welcome; until then every send is plain.
+        self._tx_compress = False
+        self._batch = False
+        # Result outbox for the batch path: finished jobs queue here
+        # while another flush holds the socket; the flusher drains the
+        # whole backlog as one result_batch frame per trip.
+        self._outbox: list[tuple[dict[str, Any], bytes | None]] = []
+        self._flushing = False
         self.jobs_done = 0
         self.jobs_failed = 0
 
@@ -113,24 +160,38 @@ class WorkerAgent:
             self._executor = self._make_executor()
             return self._executor.submit(execute_job, payload)
 
+    def _submit_job(self, job_id: str, attempt: int,
+                    payload: bytes | memoryview) -> None:
+        # The process pool pickles its arguments, and memoryview (the
+        # zero-copy slice recv_message hands back) is not picklable --
+        # materialize exactly at the boundary that needs it.  The
+        # inline-thread executor reads the view in place.
+        if self.processes >= 1 and isinstance(payload, memoryview):
+            payload = bytes(payload)
+        future = self._submit(payload)
+        future.add_done_callback(
+            lambda f, job_id=job_id, attempt=attempt:
+            self._on_job_done(job_id, attempt, f))
+
     # ------------------------------------------------------------------
     # Wire plumbing
     # ------------------------------------------------------------------
     def _send(self, header: dict[str, Any],
-              payload: bytes | None = None) -> bool:
+              payload: bytes | memoryview | None = None) -> bool:
         sock = self._sock
         if sock is None:
             return False
         try:
-            with self._send_lock:
-                send_message(sock, header, payload)
+            with self._wire_lock:
+                send_message(sock, header, payload,
+                             compress=self._tx_compress)
             return True
         except OSError:
             return False
 
     def _heartbeat_loop(self) -> None:
         while not self._stopped.wait(self.heartbeat_period):
-            if not self._send({"type": "heartbeat"}):
+            if not self._send({"type": MSG_HEARTBEAT}):
                 return
 
     def _on_job_done(self, job_id: str, attempt: int, future) -> None:
@@ -158,29 +219,106 @@ class WorkerAgent:
                 ok, value = False, traceback.format_exc()
         if ok:
             self.jobs_done += 1
-            header = {"type": "result", "job_id": job_id,
-                      "attempt": attempt, "ok": True}
+            meta: dict[str, Any] = {"job_id": job_id, "attempt": attempt,
+                                    "ok": True}
             dropped = _trace_dropped(value)
             if dropped:
                 # Silent-data-loss visibility: the coordinator folds
                 # this into its status stats (the payload is opaque to
                 # it, so the worker surfaces the counter here).
-                header["trace_dropped"] = dropped
-            self._send(header, payload)
+                meta["trace_dropped"] = dropped
         else:
             self.jobs_failed += 1
-            self._send({"type": "result", "job_id": job_id,
-                        "attempt": attempt, "ok": False,
-                        "retryable": retryable, "error": str(value)})
+            meta = {"job_id": job_id, "attempt": attempt, "ok": False,
+                    "retryable": retryable, "error": str(value)}
+            payload = None
+        if self._batch:
+            self._send_result_batched(meta, payload)
+        else:
+            meta["type"] = MSG_RESULT
+            self._send(meta, payload)
+
+    def _send_result_batched(self, meta: dict[str, Any],
+                             payload: bytes | None) -> None:
+        """Queue one result and flush the outbox unless another thread
+        already holds the socket -- that flusher will pick this entry
+        up on its next trip, coalescing everything that accumulated
+        while its sendall() blocked into a single frame."""
+        with self._send_lock:
+            self._outbox.append((meta, payload))
+            if self._flushing:
+                return
+            self._flushing = True
+        try:
+            while True:
+                with self._send_lock:
+                    batch, self._outbox = self._outbox, []
+                    if not batch:
+                        self._flushing = False
+                        return
+                self._flush_results(batch)
+        except BaseException:
+            with self._send_lock:
+                self._flushing = False
+            raise
+
+    def _flush_results(self, batch: list[tuple[dict[str, Any],
+                                               bytes | None]]) -> None:
+        sock = self._sock
+        if sock is None:
+            return
+        # The outbox coalesces without bound, but one frame must not:
+        # N individually-sendable results can sum past the frame cap,
+        # so ship the backlog in budget-bounded chunks.
+        for chunk in split_batch(batch, _result_size):
+            try:
+                with self._wire_lock:
+                    self._send_result_chunk(sock, chunk)
+            except OSError:
+                return  # broken socket: the read loop owns the teardown
+            except ProtocolError:
+                # The chunk still packed past the cap (outsized metadata
+                # headers): fall back to per-frame sends so one bad
+                # entry cannot sink its batch-mates.
+                for meta, payload in chunk:
+                    try:
+                        with self._wire_lock:
+                            send_message(sock, dict(meta, type=MSG_RESULT),
+                                         payload,
+                                         compress=self._tx_compress)
+                    except OSError:
+                        return
+                    except ProtocolError:
+                        # This result alone exceeds the frame cap; its
+                        # lease expires and the attempt budget decides.
+                        continue
+
+    def _send_result_chunk(self, sock: socket.socket,
+                           chunk: list[tuple[dict[str, Any],
+                                             bytes | None]]) -> None:
+        if len(chunk) == 1:
+            meta, payload = chunk[0]
+            send_message(sock, dict(meta, type=MSG_RESULT), payload,
+                         compress=self._tx_compress)
+        else:
+            header = {"type": MSG_RESULT_BATCH,
+                      "results": [meta for meta, _ in chunk]}
+            blobs = [payload if payload is not None else b""
+                     for _, payload in chunk]
+            send_message(sock, header, pack_blob_list(blobs),
+                         compress=self._tx_compress)
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> None:
         """Connect and serve until coordinator loss or :meth:`stop`."""
+        features = [FEATURE_ZLIB, FEATURE_BATCH] if self.compress \
+            else [FEATURE_BATCH]
         self._sock = coordinator_mod.connect(
             self.address, role="worker", name=self.name,
-            timeout=self.connect_timeout, slots=self.slots)
+            timeout=self.connect_timeout, slots=self.slots,
+            features=features)
         self._executor = self._make_executor()
         heartbeat = threading.Thread(target=self._heartbeat_loop,
                                      name="dist-heartbeat", daemon=True)
@@ -189,14 +327,25 @@ class WorkerAgent:
             while not self._stopped.is_set():
                 header, payload = recv_message(self._sock)
                 kind = header["type"]
-                if kind == "job":
-                    job_id = str(header["job_id"])
-                    attempt = int(header.get("attempt", 1))
-                    future = self._submit(payload)
-                    future.add_done_callback(
-                        lambda f, job_id=job_id, attempt=attempt:
-                        self._on_job_done(job_id, attempt, f))
-                elif kind == "shutdown":
+                if kind == MSG_JOB:
+                    self._submit_job(str(header["job_id"]),
+                                     int(header.get("attempt", 1)),
+                                     payload)
+                elif kind == MSG_JOB_BATCH:
+                    jobs = header.get("jobs", [])
+                    blobs = unpack_blob_list(payload)
+                    if len(blobs) != len(jobs):
+                        raise ProtocolError("job_batch length mismatch")
+                    for meta, blob in zip(jobs, blobs):
+                        self._submit_job(str(meta["job_id"]),
+                                         int(meta.get("attempt", 1)),
+                                         blob)
+                elif kind == MSG_WELCOME:
+                    negotiated = negotiate_features(header.get("features"))
+                    self._tx_compress = (self.compress
+                                         and FEATURE_ZLIB in negotiated)
+                    self._batch = FEATURE_BATCH in negotiated
+                elif kind == MSG_SHUTDOWN:
                     break
         except (ConnectionClosed, ProtocolError, OSError):
             pass
