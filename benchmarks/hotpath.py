@@ -15,7 +15,7 @@ snapshot so the perf trajectory of the repo is tracked across PRs::
     PYTHONPATH=src python benchmarks/hotpath.py --label optimized
 
 Each invocation merges its numbers under the given label into the
-snapshot file (default ``BENCH_8.json`` at the repo root) and, when both
+snapshot file (default ``BENCH_9.json`` at the repo root) and, when both
 ``baseline`` and ``optimized`` are present, computes the speedup table.
 ``--obs-overhead`` additionally re-measures the hottest meters with
 ``repro.obs`` telemetry enabled and records the off/on overhead table
@@ -393,6 +393,47 @@ def bench_dist_echo_under_load() -> float:
     return _dist_scale_bench()["dist_echo_under_load_per_sec"]
 
 
+def bench_dist_fairshare_makespan(n_jobs: int = 120,
+                                  reps: int = 3) -> float:
+    """Three concurrent tenants at weights 1/2/4 pushing zero-work
+    jobs through one 32-slot thread worker: wall time until the *last*
+    tenant drains.  The jobs cost nothing, so this is the weighted
+    deficit-round-robin arbiter itself -- per-campaign queue
+    bookkeeping and largest-deficit grant rounds under three-way
+    contention -- priced against the single-FIFO broker it replaced."""
+    import threading
+
+    from repro.dist import LocalCluster
+
+    jobs = [{"value": i} for i in range(n_jobs)]
+    expected = list(range(n_jobs))
+    with LocalCluster(n_workers=1, mode="thread", processes=0,
+                      slots=32) as cluster:
+        cluster.wait_for_workers()
+        runners = [cluster.runner(weight=w, name=f"bench-w{int(w)}")
+                   for w in (1.0, 2.0, 4.0)]
+
+        def measure():
+            failures = []
+
+            def tenant(runner):
+                if runner.map_jobs(_frame_echo, jobs) != expected:
+                    failures.append(runner)
+
+            threads = [threading.Thread(target=tenant, args=(r,))
+                       for r in runners]
+            start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            elapsed = time.perf_counter() - start
+            assert not failures
+            return elapsed
+
+        return _best_seconds(measure, reps=reps)
+
+
 # ----------------------------------------------------------------------
 # Plant: the natural-gas flowsheet step (HIL inner loop)
 # ----------------------------------------------------------------------
@@ -559,6 +600,7 @@ METRICS = {
     "dist_frames_per_sec": bench_dist_frames,
     "dist_connect_1000_sec": bench_dist_connect_1000,
     "dist_echo_under_load_per_sec": bench_dist_echo_under_load,
+    "dist_fairshare_makespan_sec": bench_dist_fairshare_makespan,
     "plant_steps_per_sec": bench_plant_steps,
     "flowsheet_np_steps_per_sec": bench_flowsheet_np_steps,
     "traced_events_per_sec": bench_traced_events,
@@ -652,7 +694,7 @@ def main() -> None:
                         choices=("baseline", "optimized"),
                         help="which side of the comparison this run records")
     parser.add_argument("--out", default=None,
-                        help="snapshot path (default: <repo>/BENCH_8.json)")
+                        help="snapshot path (default: <repo>/BENCH_9.json)")
     parser.add_argument("--json", action="store_true",
                         help="print the full updated snapshot as JSON on "
                              "stdout (for CI log capture / scripting)")
@@ -671,16 +713,16 @@ def main() -> None:
     args = parser.parse_args()
 
     out = Path(args.out) if args.out else \
-        Path(__file__).resolve().parent.parent / "BENCH_8.json"
+        Path(__file__).resolve().parent.parent / "BENCH_9.json"
     snapshot = json.loads(out.read_text()) if out.exists() else {
-        "bench": 8,
+        "bench": 9,
         "description": ("Hot-path microbenchmark snapshot: Engine event "
                         "dispatch, Process resumes, EVM interpretation, "
                         "Medium frame resolution, campaign sweep "
                         "throughput (local pool and distributed "
                         "coordinator/worker cluster at 8 workers), the "
                         "dist wire meters (frame relay rate, 1000-client "
-                        "connect ramp, echo latency under load), plant "
+                        "connect ramp, echo latency under load, three-tenant fair-share makespan), plant "
                         "stepping on the scalar and numpy flowsheet "
                         "backends, trace recording, the 100/256/1000-node "
                         "wide-grid failover trials and the repro.obs "

@@ -33,6 +33,11 @@ def main() -> int:
                         default="results/distributed_campaign")
     parser.add_argument("--fast", action="store_true",
                         help="short scenario horizons (smoke runs)")
+    parser.add_argument("--weight", type=float, default=1.0,
+                        help="fair-share scheduling weight for this "
+                             "campaign (relative to other tenants)")
+    parser.add_argument("--name", default="",
+                        help="campaign name shown in status/metrics")
     parser.add_argument("--shutdown", action="store_true",
                         help="stop the coordinator after the campaign")
     args = parser.parse_args()
@@ -64,7 +69,8 @@ def main() -> int:
 
     try:
         with DistributedCampaignRunner(
-                address, results_dir=args.results_dir) as runner:
+                address, results_dir=args.results_dir,
+                weight=args.weight, name=args.name) as runner:
             done = []
 
             def progress(record):

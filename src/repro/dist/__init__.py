@@ -13,21 +13,32 @@ hosts, under the same staged-commit :class:`~repro.scenarios.store
   jobs into a local process pool and streams results back;
 - :mod:`repro.dist.runner` -- :class:`DistributedCampaignRunner`, the
   drop-in for :class:`~repro.scenarios.runner.CampaignRunner`;
+- :mod:`repro.dist.fairshare` -- the weighted deficit-round-robin
+  arbiter behind multi-tenant grant rounds;
+- :mod:`repro.dist.autoscale` -- :class:`AutoscalePolicy` /
+  :class:`Autoscaler`, elastic fleet sizing over a pluggable driver;
 - :mod:`repro.dist.cluster` -- :class:`LocalCluster`, the test harness
-  (coordinator + N workers in-process or as subprocesses);
+  (coordinator + N workers in-process or as subprocesses), plus
+  :class:`SubprocessWorkerFleet`, the autoscale driver the CLI uses;
 - :mod:`repro.dist.cli` -- the ``python -m repro.dist`` entry point
   (``coordinator`` / ``worker`` / ``status`` subcommands).
 """
 
-from repro.dist.cluster import LocalCluster
+from repro.dist.autoscale import Autoscaler, AutoscalePolicy
+from repro.dist.cluster import LocalCluster, SubprocessWorkerFleet
 from repro.dist.coordinator import Coordinator
+from repro.dist.fairshare import FairScheduler
 from repro.dist.runner import DistributedCampaignRunner, DistributedJobError
 from repro.dist.worker import WorkerAgent
 
 __all__ = [
+    "Autoscaler",
+    "AutoscalePolicy",
     "Coordinator",
     "DistributedCampaignRunner",
     "DistributedJobError",
+    "FairScheduler",
     "LocalCluster",
+    "SubprocessWorkerFleet",
     "WorkerAgent",
 ]

@@ -29,8 +29,26 @@ single event loop:
 Wire semantics are unchanged from the threaded broker -- same frame
 types, same lease/requeue/first-result-wins rules, same ``status()``
 shape -- plus the negotiated extensions from :mod:`repro.dist
-.protocol`: per-frame zlib compression toward ``"zlib"`` peers and
-``job_batch``/``result_batch`` frames toward ``"batch"`` peers.
+.protocol`: per-frame zlib compression toward ``"zlib"`` peers,
+``job_batch``/``result_batch`` frames toward ``"batch"`` peers, and
+per-submit scheduling weights from ``"sched"`` clients.
+
+**Fair-share scheduling.**  Pending jobs live in per-campaign queues
+(one per client batch) drained by the weighted deficit-round-robin
+arbiter in :mod:`repro.dist.fairshare` rather than one global FIFO: a
+tenant's grant share tracks its declared ``weight`` (default 1;
+clients that never negotiated ``"sched"`` are plain weight-1 tenants,
+which for a single client is *exactly* the old FIFO order), a
+late-arriving campaign starts earning grants immediately instead of
+waiting out every earlier backlog, and a requeued crashed lease goes
+back to the front of its **own** campaign's queue.
+
+**Autoscaling.**  :meth:`AsyncCoordinator.set_autoscaler` attaches an
+:class:`~repro.dist.autoscale.Autoscaler` evaluated on a loop timer
+against the same status snapshot everything else reads; its driver
+grows the fleet or asks the broker to *retire* workers --
+drain-then-exit via the ``retire``/``slots`` frames, so scale-down
+never requeues in-flight work.
 """
 
 from __future__ import annotations
@@ -43,8 +61,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Coroutine
 
+from repro.dist.fairshare import FairScheduler, validate_weight
 from repro.dist.protocol import (
     FEATURE_BATCH,
+    FEATURE_SCHED,
     FEATURE_ZLIB,
     MSG_DONE,
     MSG_ERROR,
@@ -55,7 +75,9 @@ from repro.dist.protocol import (
     MSG_JOB_BATCH,
     MSG_RESULT,
     MSG_RESULT_BATCH,
+    MSG_RETIRE,
     MSG_SHUTDOWN,
+    MSG_SLOTS,
     MSG_STATUS,
     MSG_STATUS_UPDATE,
     MSG_STOPPING,
@@ -76,6 +98,10 @@ from repro.dist.protocol import (
 
 __all__ = ["AsyncCoordinator", "CoordinatorStats", "JobRecord", "Lease"]
 
+LEASE_WAIT_WINDOW = 512
+"""Recent lease queue-waits kept for the p50/p95 percentiles the
+status snapshot (and through it the autoscale policy) reports."""
+
 DEFAULT_LEASE_TIMEOUT = 300.0
 DEFAULT_WORKER_TIMEOUT = 15.0
 DEFAULT_MAX_ATTEMPTS = 3
@@ -92,6 +118,15 @@ would let a fast producer starve ``drain()``."""
 BROADCAST_TICK = 0.25
 """The status broadcaster's timer period (subscriber periods are
 honoured per-client on top of this resolution)."""
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0.0 when
+    empty) -- plenty for a scaling signal; no interpolation needed."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[rank]
 
 
 @dataclass
@@ -122,6 +157,11 @@ class JobRecord:
     # anyone else (falling back to them only when nobody else has a
     # free slot, so exclusion can never starve a job).
     excluded: set[int] = field(default_factory=set)
+    # Fair-share lane: the campaign key (``c<client>b<batch>``) and the
+    # tenant weight it was submitted under, so a requeue returns the
+    # job to the front of its own campaign's queue.
+    campaign: str = ""
+    weight: float = 1.0
 
 
 @dataclass
@@ -144,6 +184,10 @@ class CoordinatorStats:
     jobs_failed: int = 0
     jobs_requeued: int = 0
     workers_dropped: int = 0
+    # Workers asked to drain-and-exit by the autoscaler (or an
+    # operator); their eventual disconnects count in workers_dropped
+    # too, so dropped - retired approximates *unplanned* losses.
+    workers_retired: int = 0
     results_ignored: int = 0
     # Trace-ring rows evicted inside completed runs (reported by the
     # workers per result frame): silent data loss made visible.
@@ -220,7 +264,7 @@ class _AioPeer:
 
 class _AioWorker(_AioPeer):
     __slots__ = ("slots", "inflight", "last_seen", "leases_granted",
-                 "lease_wait_total")
+                 "lease_wait_total", "retiring")
 
     def __init__(self, peer_id, reader, writer, name, features,
                  slots: int) -> None:
@@ -232,13 +276,17 @@ class _AioWorker(_AioPeer):
         # jobs granted to this worker.
         self.leases_granted = 0
         self.lease_wait_total = 0.0
+        # Drain-then-exit: set the moment a retire frame is sent, so
+        # the very next grant round already skips this worker (its own
+        # slots=0 announcement is merely confirmation).
+        self.retiring = False
 
 
 class _AioClient(_AioPeer):
     __slots__ = ("outstanding", "completed", "failed", "batches",
                  "subscribed", "subscribe_period", "last_push",
-                 "batch_started", "result_outbox", "flush_scheduled",
-                 "done_payload")
+                 "batch_started", "batch_settled", "result_outbox",
+                 "flush_scheduled", "done_payload", "sched", "weight")
 
     def __init__(self, peer_id, reader, writer, name, features) -> None:
         super().__init__(peer_id, reader, writer, name, features)
@@ -246,6 +294,10 @@ class _AioClient(_AioPeer):
         self.completed = 0
         self.failed = 0
         self.batches = 0
+        # Fair-share tenancy: weights are only honoured from clients
+        # that negotiated "sched" (old clients stay weight-1 lanes).
+        self.sched = FEATURE_SCHED in features
+        self.weight = 1.0
         # Status-stream subscription (set by a "subscribe" frame).  The
         # broadcaster timer pushes "status_update" frames at
         # ``subscribe_period`` while ``subscribed``.
@@ -253,8 +305,12 @@ class _AioClient(_AioPeer):
         self.subscribe_period = 1.0
         self.last_push = 0.0
         # When the current batch's first jobs arrived: progress rate and
-        # ETA are measured against this origin.
+        # ETA are measured against this origin.  ``batch_settled`` pins
+        # the clock the moment the batch drains, so a snapshot built
+        # ticks later reports the batch's true rate instead of one
+        # diluted by post-completion idle time.
         self.batch_started = 0.0
+        self.batch_settled = 0.0
         # Batch-path delivery: settled results pile here until the
         # scheduled flush ships them as one result_batch frame.  The
         # done frame's counters are captured at settle time (a submit
@@ -289,7 +345,12 @@ class AsyncCoordinator:
         self.max_attempts = max(1, max_attempts)
         self.on_stop = on_stop
         self.stats = CoordinatorStats()
-        self._pending: deque[JobRecord] = deque()
+        # Per-campaign queues under a weighted deficit-round-robin
+        # arbiter; jobs settled out-of-band (first result wins, client
+        # gone) leave stale queue entries the is_live predicate prunes,
+        # exactly like the old FIFO deque's lazy cleanup.
+        self._sched = FairScheduler(
+            is_live=lambda job: job.key in self._jobs)
         self._jobs: dict[str, JobRecord] = {}
         self._leases: dict[str, Lease] = {}
         self._workers: dict[int, _AioWorker] = {}
@@ -310,6 +371,14 @@ class AsyncCoordinator:
         # every due subscriber): the regression test pins the ratio.
         self.snapshots_built = 0
         self.status_updates_sent = 0
+        # Recent lease queue-waits: the p50/p95 the status snapshot
+        # reports (and the autoscale policy keys on).
+        self._lease_waits: deque[float] = deque(maxlen=LEASE_WAIT_WINDOW)
+        # Optional autoscaler, evaluated on its own loop timer.  Driver
+        # calls may block (subprocess spawns), so ticks run in the
+        # default executor, never on the loop.
+        self._autoscaler = None
+        self._autoscale_task: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle (loop thread)
@@ -334,11 +403,17 @@ class AsyncCoordinator:
             self._on_connection, sock=self._listener, limit=1 << 20)
         timers = [asyncio.ensure_future(self._reaper_loop()),
                   asyncio.ensure_future(self._broadcast_loop())]
+        if self._autoscaler is not None and self._autoscale_task is None:
+            self._autoscale_task = asyncio.ensure_future(
+                self._autoscale_loop())
         if on_serving is not None:
             on_serving()
         try:
             await self._stop_event.wait()
         finally:
+            if self._autoscale_task is not None:
+                timers.append(self._autoscale_task)
+                self._autoscale_task = None
             for timer in timers:
                 timer.cancel()
             await asyncio.gather(*timers, return_exceptions=True)
@@ -502,6 +577,13 @@ class AsyncCoordinator:
                             trace_dropped=int(meta.get("trace_dropped",
                                                        0)))
                     self._schedule_dispatch()
+                elif kind == MSG_SLOTS:
+                    # Capacity re-announcement (a retiring worker's
+                    # slots hit 0; an elastic worker could also grow).
+                    worker.last_seen = time.monotonic()
+                    worker.slots = max(0, int(header.get("slots", 0)))
+                    if worker.slots > len(worker.inflight):
+                        self._schedule_dispatch()
                 elif kind == MSG_GOODBYE:
                     break
         except (ConnectionClosed, ProtocolError, OSError,
@@ -563,12 +645,24 @@ class AsyncCoordinator:
                                "error": "job_ids/payload length mismatch"})
             return
         max_attempts = int(header.get("max_attempts", self.max_attempts))
+        weight = 1.0
+        if client.sched and "weight" in header:
+            try:
+                weight = validate_weight(header["weight"])
+            except ValueError as exc:
+                # Reject the whole submit: silently clamping a zero or
+                # NaN weight would hand the tenant a share it never
+                # asked for (or none at all, forever).
+                await client.send({"type": MSG_ERROR, "error": str(exc)})
+                return
         now = time.monotonic()
         if not client.outstanding:
             # A fresh batch on a reused connection: the done-frame
             # counters describe one batch, not the connection's life.
             client.completed = client.failed = 0
             client.batch_started = now
+            client.batch_settled = 0.0
+        client.weight = weight
         client.batches += 1
         prefix = f"c{client.id}b{client.batches}"
         for job_id, blob in zip(job_ids, blobs):
@@ -576,9 +670,10 @@ class AsyncCoordinator:
                                job_id=job_id, payload=blob,
                                client_id=client.id,
                                max_attempts=max(1, max_attempts),
-                               submitted_at=now)
+                               submitted_at=now,
+                               campaign=prefix, weight=weight)
             self._jobs[record.key] = record
-            self._pending.append(record)
+            self._sched.enqueue(prefix, weight, record)
             client.outstanding.add(record.key)
         self.stats.jobs_submitted += len(job_ids)
         # No "accepted" ack: a fast batch could complete (result + done
@@ -588,32 +683,34 @@ class AsyncCoordinator:
         await self._dispatch()
 
     def _grant_round(self) -> dict[_AioWorker, list[JobRecord]]:
-        """Grant as many pending jobs as current capacity allows (FIFO
-        over the queue, least-loaded worker first, avoiding workers
-        that already lost the job).  Pure state mutation; the caller
-        sends the accumulated grants, batched per worker."""
+        """Grant as many pending jobs as current capacity allows
+        (largest-deficit campaign first -- the weighted round-robin --
+        then least-loaded worker, avoiding workers that already lost
+        the job).  Retiring workers are skipped outright: they are
+        draining toward goodbye.  Pure state mutation; the caller sends
+        the accumulated grants, batched per worker."""
         grants: dict[_AioWorker, list[JobRecord]] = {}
         while True:
-            # Settled jobs leave stale entries in the deque (cheap lazy
-            # cleanup instead of O(n) removes).
-            while self._pending and self._pending[0].key not in self._jobs:
-                self._pending.popleft()
-            if not self._pending:
+            pick = self._sched.peek()
+            if pick is None:
                 break
             candidates = [w for w in self._workers.values()
-                          if w.alive and len(w.inflight) < w.slots]
+                          if w.alive and not w.retiring
+                          and len(w.inflight) < w.slots]
             if not candidates:
                 break
-            job = self._pending[0]
+            queue, job = pick
             eligible = [w for w in candidates
                         if w.id not in job.excluded] or candidates
             worker = min(eligible, key=lambda w: (len(w.inflight), w.id))
-            self._pending.popleft()
+            self._sched.commit(queue)
             job.attempts += 1
             worker.inflight.add(job.key)
             now = time.monotonic()
             worker.leases_granted += 1
-            worker.lease_wait_total += max(0.0, now - job.submitted_at)
+            wait = max(0.0, now - job.submitted_at)
+            worker.lease_wait_total += wait
+            self._lease_waits.append(wait)
             self._leases[job.key] = Lease(
                 job=job, worker_id=worker.id,
                 deadline=now + self.lease_timeout,
@@ -716,8 +813,8 @@ class AsyncCoordinator:
             holder = self._workers.get(lease.worker_id)
             if holder is not None:
                 holder.inflight.discard(job.key)
-        # A stale entry may remain in self._pending; _grant_round skips
-        # entries whose key is no longer registered.
+        # A stale entry may remain in its campaign queue; the
+        # scheduler's is_live predicate prunes it on the next peek.
 
     async def _deliver(self, job: JobRecord, ok: bool, error: str | None,
                        payload: memoryview | bytes | None) -> None:
@@ -744,6 +841,11 @@ class AsyncCoordinator:
             client.completed += 1
         else:
             client.failed += 1
+        if not client.outstanding:
+            # Batch drained: pin the progress clock now, so a snapshot
+            # built ticks later reports the batch's real rate (and no
+            # phantom ETA) instead of numbers diluted by idle time.
+            client.batch_settled = time.monotonic()
         meta: dict[str, Any] = {"job_id": job.job_id,
                                 "ok": ok, "attempts": job.attempts}
         if error is not None:
@@ -815,7 +917,9 @@ class AsyncCoordinator:
         if exclude_worker is not None:
             job.excluded.add(exclude_worker)
         self.stats.jobs_requeued += 1
-        self._pending.appendleft(job)
+        # Front of its own campaign's queue: the retry neither jumps
+        # another tenant's lane nor falls behind its batch-mates.
+        self._sched.enqueue(job.campaign, job.weight, job, front=True)
 
     async def _drop_worker(self, worker: _AioWorker, reason: str) -> None:
         """Remove a worker and requeue everything it was leasing."""
@@ -843,6 +947,62 @@ class AsyncCoordinator:
                 self._settle(job)
         client.alive = False
         client.close_queue()
+
+    # ------------------------------------------------------------------
+    # Elastic fleet: retirement + autoscaling
+    # ------------------------------------------------------------------
+    async def retire_workers_async(self, n: int = 1) -> int:
+        """Ask up to ``n`` workers to drain-then-exit, idle-first (a
+        scale-down should prefer departures that strand nothing).  The
+        worker finishes its in-flight leases, announces zero slots and
+        disconnects itself; broker-side it stops receiving grants the
+        moment the retire frame is queued.  Returns how many workers
+        were asked."""
+        victims = sorted(
+            (w for w in self._workers.values()
+             if w.alive and not w.retiring),
+            key=lambda w: (len(w.inflight), -w.id))
+        count = 0
+        for worker in victims[:max(0, n)]:
+            worker.retiring = True
+            # Zero broker-side immediately (the worker's own slots=0
+            # announcement merely confirms): fleet_size and the next
+            # policy tick must not count a draining worker.
+            worker.slots = 0
+            self.stats.workers_retired += 1
+            await worker.send({"type": MSG_RETIRE})
+            count += 1
+        return count
+
+    def set_autoscaler(self, autoscaler) -> None:
+        """Attach (or replace/remove) the autoscaler.  Loop thread
+        only -- the sync facade marshals here threadsafely.  Starts the
+        evaluation timer if the loop is already serving; otherwise
+        :meth:`run` starts it."""
+        self._autoscaler = autoscaler
+        if (autoscaler is not None and self._autoscale_task is None
+                and self._loop is not None and not self._stopping):
+            self._autoscale_task = self._loop.create_task(
+                self._autoscale_loop())
+
+    async def _autoscale_loop(self) -> None:
+        """Evaluate the policy against a fresh snapshot on its own
+        timer.  Driver actions may block (subprocess spawns, a facade
+        round-trip back into this loop for retirement), so each tick
+        runs in the default executor while the loop keeps serving."""
+        while True:
+            autoscaler = self._autoscaler
+            if autoscaler is None:
+                return
+            await asyncio.sleep(autoscaler.period)
+            if self._stopping or self._autoscaler is None:
+                return
+            snapshot = self.build_status()
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self._autoscaler.tick, snapshot)
+            except Exception:  # noqa: BLE001 - a failed driver action
+                pass           # must not kill the evaluation timer
 
     # ------------------------------------------------------------------
     # Timers: reaper + status broadcaster
@@ -918,28 +1078,44 @@ class AsyncCoordinator:
         """
         now = time.monotonic()
         campaigns = []
+        # A tenant's share is its weight over the active total: what
+        # fraction of the grant rounds it is entitled to *right now*.
+        active_weight = sum(c.weight for c in self._clients.values()
+                            if c.outstanding)
         for c in sorted(self._clients.values(), key=lambda c: c.id):
             settled = c.completed + c.failed
             if not (c.outstanding or settled):
                 continue  # idle control connections are not campaigns
-            elapsed = max(1e-9, now - c.batch_started)
+            # A settled batch pins its clock: rate/ETA freeze at the
+            # values the batch actually achieved instead of decaying
+            # with idle time (and a phantom ETA reviving on stale rate
+            # state was the bug this fixes).
+            end = (c.batch_settled
+                   if c.batch_settled and not c.outstanding else now)
+            elapsed = max(1e-9, end - c.batch_started)
             rate = settled / elapsed if c.batch_started else 0.0
             campaigns.append({
                 "client_id": c.id, "name": c.name,
                 "outstanding": len(c.outstanding),
                 "completed": c.completed, "failed": c.failed,
                 "batches": c.batches,
+                "weight": c.weight,
+                "share": (c.weight / active_weight
+                          if c.outstanding and active_weight > 0
+                          else 0.0),
                 "rate_per_sec": rate,
                 "eta_sec": (len(c.outstanding) / rate
                             if rate > 0 and c.outstanding else None),
             })
-        return {
+        waits = sorted(self._lease_waits)
+        status = {
             "address": self.address,
-            "pending": len(self._pending),
+            "pending": self._sched.pending(),
             "leased": len(self._leases),
             "workers": [
                 {"id": w.id, "name": w.name, "slots": w.slots,
                  "inflight": len(w.inflight),
+                 "retiring": w.retiring,
                  "last_seen_age_sec": max(0.0, now - w.last_seen),
                  "leases_granted": w.leases_granted,
                  "lease_wait_avg_sec": (
@@ -950,9 +1126,25 @@ class AsyncCoordinator:
             "clients": len(self._clients),
             "subscribers": sum(1 for c in self._clients.values()
                                if c.subscribed),
+            # Workers that can still take leases (a retiring worker is
+            # connected but no longer part of the serving fleet).
+            "fleet_size": sum(1 for w in self._workers.values()
+                              if w.alive and w.slots > 0
+                              and not w.retiring),
+            "lease_wait_p50_sec": _percentile(waits, 0.5),
+            "lease_wait_p95_sec": _percentile(waits, 0.95),
             "campaigns": campaigns,
             "stats": dict(self.stats.__dict__),
         }
+        autoscaler = self._autoscaler
+        if autoscaler is not None:
+            status["autoscale"] = {
+                "min": autoscaler.policy.min_workers,
+                "max": autoscaler.policy.max_workers,
+                "scaled_up": autoscaler.scaled_up,
+                "scaled_down": autoscaler.scaled_down,
+            }
+        return status
 
     # Facade plumbing: run a coroutine builder from any thread.
     def threadsafe(self, loop: asyncio.AbstractEventLoop,

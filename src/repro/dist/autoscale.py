@@ -1,0 +1,169 @@
+"""Autoscaling for distributed campaign fleets: policy, engine, drivers.
+
+Split on purpose into three small pieces:
+
+- :class:`AutoscalePolicy` is a **pure function** of one coordinator
+  status snapshot: ``decide(status) -> delta`` returns how many
+  workers the fleet *should* gain (positive) or shed (negative) right
+  now, from queue depth, lease-wait percentiles and idle capacity.
+  Pure means exhaustively unit-testable as a decision table -- no
+  clocks, no sockets, no threads;
+- :class:`Autoscaler` wraps a policy with the *stateful* parts --
+  per-direction cooldowns so an oscillating queue cannot thrash the
+  fleet, and an injectable clock so the hysteresis is testable in
+  virtual time -- and applies decisions through a **driver**;
+- a driver is anything with ``scale_up(n)`` / ``scale_down(n)``:
+  :class:`~repro.dist.cluster.LocalCluster` (in-process fleets for
+  tests), :class:`~repro.dist.cluster.SubprocessWorkerFleet` (the
+  ``python -m repro.dist coordinator --autoscale min:max`` fleet of
+  real worker subprocesses), or your own provisioner.
+
+Scale-down is cooperative, never destructive: the driver asks the
+coordinator to *retire* workers, which drain in-flight leases, announce
+zero slots and disconnect (see ``worker.py``) -- so a scale-down during
+load loses no work.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+__all__ = ["AutoscalePolicy", "Autoscaler", "ScaleDriver",
+           "fleet_size", "parse_autoscale"]
+
+
+class ScaleDriver(Protocol):
+    """What an :class:`Autoscaler` drives."""
+
+    def scale_up(self, n: int) -> None: ...
+
+    def scale_down(self, n: int) -> None: ...
+
+
+def fleet_size(status: dict[str, Any]) -> int:
+    """Workers that can still accept leases: connected, not draining
+    (a retiring worker announces ``slots: 0`` and must not count, or
+    scale-up toward ``min`` would stall while it drains)."""
+    return sum(1 for w in status.get("workers", [])
+               if int(w.get("slots", 0)) > 0)
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Snapshot -> fleet delta.
+
+    ``backlog_per_worker`` is the queue depth one worker is allowed to
+    carry before the policy wants another; ``wait_p95_sec`` is the
+    lease-wait tail beyond which the fleet is undersized even when the
+    instantaneous queue looks shallow (jobs kept waiting is the symptom
+    the paper's capacity argument cares about, not queue length per
+    se).  Cooldowns live here too -- they are policy, the
+    :class:`Autoscaler` merely enforces them -- with scale-down slower
+    than scale-up by default (grow eagerly, shrink reluctantly).
+    """
+
+    min_workers: int = 1
+    max_workers: int = 8
+    backlog_per_worker: float = 2.0
+    wait_p95_sec: float = 1.0
+    up_cooldown_sec: float = 1.0
+    down_cooldown_sec: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 0 or self.max_workers < self.min_workers:
+            raise ValueError(
+                f"need 0 <= min <= max, got {self.min_workers}:"
+                f"{self.max_workers}")
+        if self.backlog_per_worker <= 0:
+            raise ValueError("backlog_per_worker must be > 0")
+
+    def decide(self, status: dict[str, Any]) -> int:
+        """Pure decision: +n to spawn, -n to retire, 0 to hold."""
+        fleet = fleet_size(status)
+        if fleet < self.min_workers:
+            return self.min_workers - fleet
+        pending = int(status.get("pending", 0))
+        p95 = float(status.get("lease_wait_p95_sec", 0.0) or 0.0)
+        if pending > 0 and fleet < self.max_workers:
+            # Size the fleet to the backlog; a breached wait tail asks
+            # for at least one more even when the queue is shallow.
+            want = math.ceil(pending / self.backlog_per_worker)
+            if p95 > self.wait_p95_sec:
+                want = max(want, fleet + 1)
+            want = min(self.max_workers, max(self.min_workers, want))
+            if want > fleet:
+                return want - fleet
+        if pending == 0 and fleet > self.min_workers:
+            idle = sum(1 for w in status.get("workers", [])
+                       if int(w.get("slots", 0)) > 0
+                       and int(w.get("inflight", 0)) == 0)
+            if idle > 0:
+                return -min(idle, fleet - self.min_workers)
+        return 0
+
+
+class Autoscaler:
+    """Apply a policy through a driver, with anti-thrash hysteresis.
+
+    ``tick(status)`` is the broker timer's entry point: it evaluates
+    the policy, suppresses decisions still inside their cooldown
+    window (a scale-*down* is additionally blocked while a recent
+    scale-*up* is still warming, so a spike's trailing edge cannot
+    immediately undo its leading edge), and forwards the survivor to
+    the driver.  Returns the applied delta (0 when held)."""
+
+    def __init__(self, policy: AutoscalePolicy, driver: ScaleDriver,
+                 period: float = 0.5,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.policy = policy
+        self.driver = driver
+        self.period = max(0.05, period)
+        self._clock = clock
+        self._last_up: float | None = None
+        self._last_down: float | None = None
+        self.ticks = 0
+        self.scaled_up = 0
+        self.scaled_down = 0
+
+    def tick(self, status: dict[str, Any]) -> int:
+        self.ticks += 1
+        delta = self.policy.decide(status)
+        if delta == 0:
+            return 0
+        now = self._clock()
+        if delta > 0:
+            if (self._last_up is not None
+                    and now - self._last_up < self.policy.up_cooldown_sec):
+                return 0
+            self._last_up = now
+            self.scaled_up += delta
+            self.driver.scale_up(delta)
+            return delta
+        recent = [t for t in (self._last_up, self._last_down)
+                  if t is not None]
+        if recent and now - max(recent) < self.policy.down_cooldown_sec:
+            return 0
+        self._last_down = now
+        self.scaled_down += -delta
+        self.driver.scale_down(-delta)
+        return delta
+
+
+def parse_autoscale(spec: str) -> tuple[int, int]:
+    """Parse the CLI's ``--autoscale MIN:MAX`` argument."""
+    lo, sep, hi = spec.partition(":")
+    try:
+        if not sep:
+            raise ValueError
+        bounds = (int(lo), int(hi))
+    except ValueError:
+        raise ValueError(
+            f"--autoscale expects MIN:MAX integers, got {spec!r}"
+        ) from None
+    if bounds[0] < 0 or bounds[1] < bounds[0]:
+        raise ValueError(
+            f"--autoscale needs 0 <= MIN <= MAX, got {spec!r}")
+    return bounds

@@ -34,13 +34,29 @@ def _cmd_coordinator(args: argparse.Namespace) -> int:
                               lease_timeout=args.lease_timeout,
                               worker_timeout=args.worker_timeout,
                               max_attempts=args.max_attempts)
+    fleet = None
+    if args.autoscale:
+        from repro.dist.autoscale import AutoscalePolicy, parse_autoscale
+        from repro.dist.cluster import SubprocessWorkerFleet
+
+        lo, hi = parse_autoscale(args.autoscale)
+        fleet = SubprocessWorkerFleet(
+            coordinator, processes=args.autoscale_processes)
+        coordinator.set_autoscaler(
+            AutoscalePolicy(min_workers=lo, max_workers=hi), fleet,
+            period=args.autoscale_interval)
     print(f"coordinator listening on {coordinator.address} "
           f"(lease {args.lease_timeout}s, worker {args.worker_timeout}s, "
-          f"max attempts {args.max_attempts})", flush=True)
+          f"max attempts {args.max_attempts}"
+          + (f", autoscale {args.autoscale}" if args.autoscale else "")
+          + ")", flush=True)
     try:
         coordinator.serve_forever()
     except KeyboardInterrupt:
         coordinator.stop()
+    finally:
+        if fleet is not None:
+            fleet.close()
     print("coordinator stopped", flush=True)
     return 0
 
@@ -80,15 +96,23 @@ def format_status_line(status: dict) -> str:
         # trace-derived metrics may undercount.  Shown only when
         # non-zero so the healthy line stays short.
         parts.append(f"dropped={stats['trace_dropped']}")
+    scale = status.get("autoscale")
+    if scale is not None:
+        # Only autoscaled brokers carry the block; the plain line (and
+        # its pinned test expectations) stays unchanged without it.
+        parts.append(f"fleet={status.get('fleet_size', 0)}"
+                     f"[{scale.get('min')}:{scale.get('max')}]")
     for campaign in status.get("campaigns", []):
         total = (campaign.get("outstanding", 0)
                  + campaign.get("completed", 0) + campaign.get("failed", 0))
         settled = campaign.get("completed", 0) + campaign.get("failed", 0)
         eta = campaign.get("eta_sec")
         eta_text = f" eta={eta:.0f}s" if eta is not None else ""
+        share = campaign.get("share") or 0.0
+        share_text = f" share={share:.0%}" if share else ""
         parts.append(f"[{campaign.get('name')}: {settled}/{total} "
                      f"@{campaign.get('rate_per_sec', 0.0):.1f}/s"
-                     f"{eta_text}]")
+                     f"{eta_text}{share_text}]")
     return " ".join(parts)
 
 
@@ -155,6 +179,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="heartbeat silence before a worker is dropped")
     coord.add_argument("--max-attempts", type=int, default=3,
                        help="lease grants per job before it is failed")
+    coord.add_argument("--autoscale", default="", metavar="MIN:MAX",
+                       help="run an elastic subprocess worker fleet "
+                            "sized MIN..MAX by queue depth and "
+                            "lease-wait (workers drain before exiting)")
+    coord.add_argument("--autoscale-processes", type=int, default=1,
+                       help="process pool width of each autoscaled "
+                            "worker (0 = inline threads)")
+    coord.add_argument("--autoscale-interval", type=float, default=0.5,
+                       help="seconds between autoscale policy "
+                            "evaluations")
     coord.set_defaults(func=_cmd_coordinator)
 
     worker = sub.add_parser("worker", help="lease and execute jobs")

@@ -16,20 +16,71 @@ bound to it.  Two worker modes:
 
 The cluster is a context manager; exit stops the workers, then the
 coordinator.
+
+Both cluster flavours are **elastic**: ``spawn_workers(n)`` /
+``retire_workers(n)`` grow and drain the fleet at runtime, and the
+``scale_up``/``scale_down`` aliases make a cluster directly usable as
+an :class:`~repro.dist.autoscale.Autoscaler` driver (pass
+``autoscale=(min, max)`` or a full policy to wire that up at
+construction).  :class:`SubprocessWorkerFleet` is the same driver
+contract for a standalone coordinator (the ``python -m repro.dist
+coordinator --autoscale min:max`` path): it spawns real ``python -m
+repro.dist worker`` children and retires them through the broker.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 import signal
 import subprocess
 import sys
+import threading
 import time
 from typing import Any
 
 from repro.dist.coordinator import Coordinator
 from repro.dist.runner import DistributedCampaignRunner
 from repro.dist.worker import WorkerAgent
+
+
+def _src_root():
+    from pathlib import Path
+
+    import repro
+
+    # ``repro`` is a namespace package: locate src/ via __path__.
+    return Path(list(repro.__path__)[0]).resolve().parent
+
+
+def spawn_worker_process(address: str, processes: int = 1,
+                         slots: int | None = None,
+                         heartbeat_period: float = 2.0,
+                         name: str = "",
+                         compress: bool = True) -> subprocess.Popen:
+    """Fork one ``python -m repro.dist worker`` child dialled at
+    ``address`` (with ``src`` prepended to its ``PYTHONPATH``).  Each
+    worker leads its own process group (``start_new_session``), so
+    killing "the worker" takes its forked pool children with it -- a
+    bare SIGKILL on the agent alone would orphan them.  Shared by
+    :class:`LocalCluster` and :class:`SubprocessWorkerFleet`."""
+    env = dict(os.environ)
+    src = str(_src_root())
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    argv = [sys.executable, "-m", "repro.dist", "worker",
+            "--connect", address,
+            "--processes", str(processes),
+            "--slots", str(slots or 0),  # 0 = executor width
+            "--heartbeat", str(heartbeat_period)]
+    if name:
+        argv += ["--name", name]
+    if not compress:
+        argv.append("--no-compress")
+    return subprocess.Popen(
+        argv,
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        start_new_session=True)
 
 
 def sleepy_echo(arg: dict) -> Any:
@@ -61,7 +112,9 @@ class LocalCluster:
                  worker_timeout: float | None = None,
                  heartbeat_period: float = 0.2,
                  max_attempts: int | None = None,
-                 compress: bool = True) -> None:
+                 compress: bool = True,
+                 autoscale: Any = None,
+                 autoscale_period: float = 0.25) -> None:
         if mode not in ("thread", "subprocess"):
             raise ValueError(f"unknown cluster mode {mode!r}")
         self.mode = mode
@@ -84,8 +137,23 @@ class LocalCluster:
         self.coordinator.start()
         self.workers: list[WorkerAgent | subprocess.Popen] = []
         self._runners: list[DistributedCampaignRunner] = []
-        for i in range(n_workers):
-            self.workers.append(self._spawn_worker(i))
+        self._worker_seq = itertools.count()
+        # spawn/retire may be driven from the autoscaler's executor
+        # thread while a test thread reads/kills workers.
+        self._workers_lock = threading.Lock()
+        for _ in range(n_workers):
+            self._append_worker()
+        # ``autoscale=(min, max)`` (or a full AutoscalePolicy) wires
+        # this cluster up as its own scale driver.
+        self.autoscaler = None
+        if autoscale is not None:
+            from repro.dist.autoscale import AutoscalePolicy
+
+            policy = (autoscale if isinstance(autoscale, AutoscalePolicy)
+                      else AutoscalePolicy(min_workers=autoscale[0],
+                                           max_workers=autoscale[1]))
+            self.autoscaler = self.coordinator.set_autoscaler(
+                policy, self, period=autoscale_period)
 
     # ------------------------------------------------------------------
     @property
@@ -100,25 +168,39 @@ class LocalCluster:
                                 heartbeat_period=self.heartbeat_period,
                                 compress=self.compress)
             return agent.start()
-        env = dict(os.environ)
-        src = str(self._src_root())
-        env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
-                                   if env.get("PYTHONPATH") else "")
-        # Each worker leads its own process group (start_new_session),
-        # so killing "the worker" takes its forked pool children with
-        # it -- a bare SIGKILL on the agent alone would orphan them.
-        argv = [sys.executable, "-m", "repro.dist", "worker",
-                "--connect", self.address,
-                "--processes", str(self.processes),
-                "--slots", str(self.slots or 0),  # 0 = executor width
-                "--heartbeat", str(self.heartbeat_period),
-                "--name", name]
-        if not self.compress:
-            argv.append("--no-compress")
-        return subprocess.Popen(
-            argv,
-            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
-            start_new_session=True)
+        return spawn_worker_process(
+            self.address, processes=self.processes, slots=self.slots,
+            heartbeat_period=self.heartbeat_period, name=name,
+            compress=self.compress)
+
+    def _append_worker(self) -> None:
+        worker = self._spawn_worker(next(self._worker_seq))
+        with self._workers_lock:
+            self.workers.append(worker)
+
+    # ------------------------------------------------------------------
+    # Elastic fleet (the autoscale driver contract)
+    # ------------------------------------------------------------------
+    def spawn_workers(self, n: int) -> None:
+        """Grow the fleet by ``n`` fresh workers (they dial in and
+        register asynchronously, like any other worker)."""
+        for _ in range(max(0, n)):
+            self._append_worker()
+        self.n_workers = len(self.workers)
+
+    def retire_workers(self, n: int) -> int:
+        """Drain-then-exit ``n`` workers via the coordinator (idle
+        ones first).  The retired agents/processes exit on their own
+        once drained; ``close()`` reaps whatever is left."""
+        return self.coordinator.retire_workers(n)
+
+    # Driver aliases so a cluster can be handed straight to an
+    # Autoscaler (or to ``Coordinator.set_autoscaler``).
+    def scale_up(self, n: int) -> None:
+        self.spawn_workers(n)
+
+    def scale_down(self, n: int) -> None:
+        self.retire_workers(n)
 
     @staticmethod
     def _signal_group(proc: subprocess.Popen, sig: int) -> None:
@@ -132,23 +214,17 @@ class LocalCluster:
             except OSError:
                 pass
 
-    @staticmethod
-    def _src_root():
-        from pathlib import Path
-
-        import repro
-
-        # ``repro`` is a namespace package: locate src/ via __path__.
-        return Path(list(repro.__path__)[0]).resolve().parent
-
     # ------------------------------------------------------------------
     def runner(self, results_dir: str | None = None,
                max_attempts: int | None = None,
+               weight: float = 1.0, name: str = "",
                ) -> DistributedCampaignRunner:
-        """A client runner bound to this cluster (closed with it)."""
+        """A client runner bound to this cluster (closed with it);
+        ``weight`` declares its fair-share scheduling weight."""
         runner = DistributedCampaignRunner(
             self.address, results_dir=results_dir,
-            max_attempts=max_attempts, compress=self.compress)
+            max_attempts=max_attempts, compress=self.compress,
+            weight=weight, name=name)
         self._runners.append(runner)
         return runner
 
@@ -184,7 +260,9 @@ class LocalCluster:
         for runner in self._runners:
             runner.close()
         self._runners.clear()
-        for worker in self.workers:
+        with self._workers_lock:
+            workers, self.workers = list(self.workers), []
+        for worker in workers:
             if isinstance(worker, WorkerAgent):
                 worker.stop()
             elif worker.poll() is None:
@@ -194,7 +272,6 @@ class LocalCluster:
                 except subprocess.TimeoutExpired:
                     self._signal_group(worker, signal.SIGKILL)
                     worker.wait(timeout=5)
-        self.workers.clear()
         self.coordinator.stop()
 
     def __enter__(self) -> "LocalCluster":
@@ -202,3 +279,63 @@ class LocalCluster:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class SubprocessWorkerFleet:
+    """Autoscale driver for a standalone coordinator: real ``python -m
+    repro.dist worker`` subprocesses, grown directly and shrunk through
+    the broker's drain-then-exit retirement.
+
+    This is what ``python -m repro.dist coordinator --autoscale
+    min:max`` hands its autoscaler; it holds no broker state of its
+    own -- the policy reads the status snapshot, this merely acts.
+    """
+
+    def __init__(self, coordinator: Coordinator, processes: int = 1,
+                 slots: int | None = None,
+                 heartbeat_period: float = 2.0,
+                 compress: bool = True) -> None:
+        self.coordinator = coordinator
+        self.processes = processes
+        self.slots = slots
+        self.heartbeat_period = heartbeat_period
+        self.compress = compress
+        self._procs: list[subprocess.Popen] = []
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def scale_up(self, n: int) -> None:
+        for _ in range(max(0, n)):
+            proc = spawn_worker_process(
+                self.coordinator.address, processes=self.processes,
+                slots=self.slots,
+                heartbeat_period=self.heartbeat_period,
+                name=f"auto-{next(self._seq)}", compress=self.compress)
+            with self._lock:
+                self._procs.append(proc)
+
+    def scale_down(self, n: int) -> None:
+        self.coordinator.retire_workers(n)
+        self.reap()
+
+    def reap(self) -> None:
+        """Forget (and wait on) children that already drained out."""
+        with self._lock:
+            self._procs = [p for p in self._procs if p.poll() is None]
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Terminate whatever is still running (coordinator shutdown
+        already told them to exit; this is the backstop)."""
+        with self._lock:
+            procs, self._procs = self._procs, []
+        for proc in procs:
+            if proc.poll() is None:
+                LocalCluster._signal_group(proc, signal.SIGTERM)
+        deadline = time.monotonic() + timeout
+        for proc in procs:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                LocalCluster._signal_group(proc, signal.SIGKILL)
+                proc.wait(timeout=5)

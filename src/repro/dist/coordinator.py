@@ -211,6 +211,44 @@ class Coordinator:
         # the state concurrently, a direct build is safe.
         return self._core.build_status()
 
+    # ------------------------------------------------------------------
+    # Elastic fleet
+    # ------------------------------------------------------------------
+    def retire_workers(self, n: int = 1, timeout: float = 10.0) -> int:
+        """Ask up to ``n`` workers to drain-then-exit (idle-first);
+        returns how many were asked.  Safe from any thread -- this is
+        the scale-down half of the autoscale driver contract."""
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            return 0
+        future = asyncio.run_coroutine_threadsafe(
+            self._core.retire_workers_async(n), loop)
+        try:
+            return future.result(timeout=timeout)
+        except (asyncio.CancelledError, RuntimeError, TimeoutError):
+            return 0
+
+    def set_autoscaler(self, policy, driver, period: float = 0.5):
+        """Attach an autoscaler: ``policy`` is an
+        :class:`~repro.dist.autoscale.AutoscalePolicy` (or an already
+        built :class:`~repro.dist.autoscale.Autoscaler`, in which case
+        ``driver``/``period`` are ignored) evaluated every ``period``
+        seconds on the broker's loop against the live status snapshot,
+        acting through ``driver.scale_up(n)``/``driver.scale_down(n)``.
+        Returns the autoscaler so callers can read its counters."""
+        from repro.dist.autoscale import Autoscaler
+
+        autoscaler = (policy if isinstance(policy, Autoscaler)
+                      else Autoscaler(policy, driver, period=period))
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self._core.set_autoscaler,
+                                      autoscaler)
+        else:
+            # Pre-start: run() will start the evaluation timer.
+            self._core.set_autoscaler(autoscaler)
+        return autoscaler
+
     # Test/diagnostic hooks into the loop core.
     @property
     def core(self) -> AsyncCoordinator:

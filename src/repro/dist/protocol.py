@@ -126,7 +126,13 @@ broker and address parsing all import it from here)."""
 # intersection, so either side can unilaterally decline.
 FEATURE_ZLIB = "zlib"
 FEATURE_BATCH = "batch"
-SUPPORTED_FEATURES = frozenset({FEATURE_ZLIB, FEATURE_BATCH})
+# Fair-share scheduling: a client that negotiated "sched" may declare
+# a per-submit ``weight`` (its share of the grant rounds relative to
+# other tenants).  Clients without it interoperate as weight-1 tenants
+# -- the old strict-FIFO behaviour degrades into the common DRR lane.
+FEATURE_SCHED = "sched"
+SUPPORTED_FEATURES = frozenset({FEATURE_ZLIB, FEATURE_BATCH,
+                                FEATURE_SCHED})
 
 # Frame types, client-driven ...
 MSG_HELLO = "hello"
@@ -146,9 +152,17 @@ MSG_RESULT = "result"
 MSG_DONE = "done"
 MSG_STOPPING = "stopping"
 MSG_ERROR = "error"
+# "retire" asks a worker to drain and leave (the autoscaler's
+# scale-down path): the worker finishes its in-flight leases,
+# announces zero slots, then says goodbye -- so shrinking the fleet
+# never requeues work.
+MSG_RETIRE = "retire"
 # ... worker-driven.
 MSG_HEARTBEAT = "heartbeat"
 MSG_RESULT_BATCH = "result_batch"
+# "slots" re-announces a worker's lease capacity mid-connection (a
+# retiring worker drops to 0; a future elastic worker could grow).
+MSG_SLOTS = "slots"
 
 _LEN = struct.Struct(">I")
 

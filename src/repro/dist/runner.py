@@ -41,8 +41,10 @@ import types
 from typing import Any, Callable, Sequence
 
 from repro.dist import coordinator as coordinator_mod
+from repro.dist.fairshare import validate_weight
 from repro.dist.protocol import (
     FEATURE_BATCH,
+    FEATURE_SCHED,
     FEATURE_ZLIB,
     ConnectionClosed,
     import_attr,
@@ -115,19 +117,25 @@ class DistributedCampaignRunner:
     The connection is dialed lazily on the first call and reused across
     campaigns; ``close()`` (or the context manager) says goodbye.
     ``max_attempts=None`` defers to the coordinator's configured
-    default.
+    default.  ``weight`` declares this tenant's fair-share scheduling
+    weight (relative to the other campaigns on the same coordinator: a
+    weight-4 tenant earns 4 grant rounds for every 1 a weight-1 tenant
+    gets while both are backlogged); it must be a finite number > 0 --
+    validated here, at submission time, rather than letting the
+    coordinator reject the whole batch later.
     """
 
     def __init__(self, address: str, results_dir: str | None = None,
                  max_attempts: int | None = None,
                  connect_timeout: float = 10.0, name: str = "",
-                 compress: bool = True) -> None:
+                 compress: bool = True, weight: float = 1.0) -> None:
         self.address = address
         self.results_dir = results_dir
         self.max_attempts = max_attempts
         self.connect_timeout = connect_timeout
         self.name = name or "campaign-client"
         self.compress = compress
+        self.weight = validate_weight(weight)
         self._sock: socket.socket | None = None
         # Negotiated per connection at welcome; plain until then.
         self._tx_compress = False
@@ -137,11 +145,13 @@ class DistributedCampaignRunner:
     # ------------------------------------------------------------------
     def _connection(self) -> socket.socket:
         if self._sock is None:
-            # "batch" is always advertised (the coordinator then folds
-            # result bursts into one result_batch frame toward us);
-            # zlib only when compression is on.
-            features = ((FEATURE_ZLIB, FEATURE_BATCH) if self.compress
-                        else (FEATURE_BATCH,))
+            # "batch" and "sched" are always advertised (the
+            # coordinator folds result bursts into one result_batch
+            # frame toward us, and honours our declared weight); zlib
+            # only when compression is on.
+            features = ((FEATURE_ZLIB, FEATURE_BATCH, FEATURE_SCHED)
+                        if self.compress
+                        else (FEATURE_BATCH, FEATURE_SCHED))
             sock = coordinator_mod.connect(
                 self.address, role="client", name=self.name,
                 timeout=self.connect_timeout, features=features)
@@ -208,7 +218,8 @@ class DistributedCampaignRunner:
         sock = self._connection()
         job_ids = [f"j{i:06d}" for i in range(len(jobs))]
         blobs = [_dumps_portable((fn, job)) for job in jobs]
-        header: dict[str, Any] = {"type": "submit", "job_ids": job_ids}
+        header: dict[str, Any] = {"type": "submit", "job_ids": job_ids,
+                                  "weight": self.weight}
         if self.max_attempts is not None:
             header["max_attempts"] = self.max_attempts
         # The submit envelope is the fattest client frame (every job

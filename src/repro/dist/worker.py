@@ -27,6 +27,14 @@ the agent compresses its frames (``zlib``) and coalesces results into
 while a flush is on the wire, and the next flush ships all of them as
 one frame -- one syscall for N wide-grid records, self-clocking to
 however fast the socket drains.
+
+A ``retire`` frame (the autoscaler's scale-down path) makes the agent
+**drain-then-exit**: it announces ``slots: 0`` so the coordinator
+grants it nothing further, finishes whatever jobs are already in its
+executor, sends each result normally, and only then says goodbye --
+shrinking a fleet under load loses no work.  A SIGKILL mid-drain still
+looks like any crashed worker (no goodbye), so the coordinator's
+requeue path covers that too.
 """
 
 from __future__ import annotations
@@ -47,7 +55,9 @@ from repro.dist.protocol import (
     MSG_JOB_BATCH,
     MSG_RESULT,
     MSG_RESULT_BATCH,
+    MSG_RETIRE,
     MSG_SHUTDOWN,
+    MSG_SLOTS,
     MSG_WELCOME,
     ConnectionClosed,
     ProtocolError,
@@ -136,6 +146,13 @@ class WorkerAgent:
         # whole backlog as one result_batch frame per trip.
         self._outbox: list[tuple[dict[str, Any], bytes | None]] = []
         self._flushing = False
+        # Drain-then-exit state: _inflight counts jobs handed to the
+        # executor whose results have not shipped yet; once draining,
+        # the last decrement (with an empty outbox) sends the goodbye.
+        self._retire_lock = threading.Lock()
+        self._inflight = 0
+        self._draining = False
+        self._goodbye_sent = False
         self.jobs_done = 0
         self.jobs_failed = 0
 
@@ -168,6 +185,8 @@ class WorkerAgent:
         # inline-thread executor reads the view in place.
         if self.processes >= 1 and isinstance(payload, memoryview):
             payload = bytes(payload)
+        with self._retire_lock:
+            self._inflight += 1
         future = self._submit(payload)
         future.add_done_callback(
             lambda f, job_id=job_id, attempt=attempt:
@@ -237,6 +256,25 @@ class WorkerAgent:
         else:
             meta["type"] = MSG_RESULT
             self._send(meta, payload)
+        with self._retire_lock:
+            self._inflight -= 1
+        self._maybe_finish_retire()
+
+    def _maybe_finish_retire(self) -> None:
+        """Send the retire goodbye once: draining, nothing in flight,
+        and nothing still queued for (or mid-) flush -- a goodbye that
+        overtook a batched result would strand that job until its
+        lease expired."""
+        with self._retire_lock:
+            if (not self._draining or self._inflight > 0
+                    or self._goodbye_sent):
+                return
+            with self._send_lock:
+                if self._outbox or self._flushing:
+                    return  # the active flusher re-checks when done
+            self._goodbye_sent = True
+        self._send({"type": MSG_GOODBYE})
+        self._stopped.set()
 
     def _send_result_batched(self, meta: dict[str, Any],
                              payload: bytes | None) -> None:
@@ -255,12 +293,15 @@ class WorkerAgent:
                     batch, self._outbox = self._outbox, []
                     if not batch:
                         self._flushing = False
-                        return
+                        break
                 self._flush_results(batch)
         except BaseException:
             with self._send_lock:
                 self._flushing = False
             raise
+        # This flusher may have shipped the final draining result; the
+        # decrementing thread saw _flushing and deferred to us.
+        self._maybe_finish_retire()
 
     def _flush_results(self, batch: list[tuple[dict[str, Any],
                                                bytes | None]]) -> None:
@@ -345,6 +386,15 @@ class WorkerAgent:
                     self._tx_compress = (self.compress
                                          and FEATURE_ZLIB in negotiated)
                     self._batch = FEATURE_BATCH in negotiated
+                elif kind == MSG_RETIRE:
+                    # Drain-then-exit: no new leases (slots 0), finish
+                    # what's in the executor, then goodbye.  The
+                    # coordinator closes the connection on our goodbye,
+                    # which pops this loop out of recv_message.
+                    with self._retire_lock:
+                        self._draining = True
+                    self._send({"type": MSG_SLOTS, "slots": 0})
+                    self._maybe_finish_retire()
                 elif kind == MSG_SHUTDOWN:
                     break
         except (ConnectionClosed, ProtocolError, OSError):

@@ -22,8 +22,8 @@ from repro.obs.metrics import MetricsRegistry
 __all__ = ["CoordinatorBridge"]
 
 _STAT_GAUGES = ("jobs_submitted", "jobs_completed", "jobs_failed",
-                "jobs_requeued", "workers_dropped", "results_ignored",
-                "trace_dropped")
+                "jobs_requeued", "workers_dropped", "workers_retired",
+                "results_ignored", "trace_dropped")
 
 
 class CoordinatorBridge:
@@ -49,6 +49,15 @@ class CoordinatorBridge:
             "repro_dist_workers", "Connected workers")
         self._clients = registry.gauge(
             "repro_dist_clients", "Connected clients")
+        # Fleet-health gauges share the DistMeters bundle so an
+        # in-process dist_meters() caller resolves the same series.
+        from repro.obs.instrument import DistMeters
+
+        dist = registry.bundles.get(DistMeters)
+        if dist is None:
+            dist = DistMeters(registry)
+            registry.bundles[DistMeters] = dist
+        self._dist = dist
 
     # ------------------------------------------------------------------
     def start(self) -> "CoordinatorBridge":
@@ -116,6 +125,12 @@ class CoordinatorBridge:
         workers = status.get("workers", [])
         self._workers.set(float(len(workers)))
         self._clients.set(float(status.get("clients", 0)))
+        self._dist.fleet_size.set(
+            float(status.get("fleet_size", len(workers))))
+        self._dist.lease_wait_p50.set(
+            float(status.get("lease_wait_p50_sec", 0.0)))
+        self._dist.lease_wait_p95.set(
+            float(status.get("lease_wait_p95_sec", 0.0)))
         for name, value in (status.get("stats") or {}).items():
             if name in _STAT_GAUGES:
                 reg.gauge(f"repro_dist_{name}",
@@ -150,3 +165,11 @@ class CoordinatorBridge:
                 reg.gauge("repro_dist_campaign_eta_sec",
                           "Projected seconds to drain the campaign",
                           campaign=label).set(float(eta))
+            reg.gauge("repro_dist_campaign_weight",
+                      "Declared fair-share weight",
+                      campaign=label).set(
+                          float(campaign.get("weight", 1.0)))
+            reg.gauge("repro_dist_campaign_share",
+                      "Fraction of grant bandwidth while backlogged",
+                      campaign=label).set(
+                          float(campaign.get("share", 0.0)))

@@ -30,10 +30,10 @@ from repro.obs.metrics import MetricsRegistry
 __all__ = [
     "EngineMeters", "MediumMeters", "RtLinkMeters", "VmMeters",
     "SchedulerMeters", "EvmMeters", "HealthMeters", "PlantMeters",
-    "CampaignMeters",
+    "CampaignMeters", "DistMeters",
     "engine_meters", "medium_meters", "rtlink_meters", "vm_meters",
     "scheduler_meters", "evm_meters", "health_meters", "plant_meters",
-    "campaign_meters",
+    "campaign_meters", "dist_meters",
 ]
 
 # Buckets for sim-time failover latency: the paper's failover budget is
@@ -210,6 +210,26 @@ class CampaignMeters:
             "Wall-clock duration of one scenario run")
 
 
+class DistMeters:
+    """Elastic-fleet health of a distributed campaign broker.
+
+    Set from status snapshots (the obs bridge at ~1 Hz), never from the
+    grant hot path, so the broker's loop stays metric-free."""
+
+    __slots__ = ("fleet_size", "lease_wait_p50", "lease_wait_p95")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.fleet_size = registry.gauge(
+            "repro_dist_fleet_size",
+            "Workers with open slots (retiring workers excluded)")
+        self.lease_wait_p50 = registry.gauge(
+            "repro_dist_lease_wait_p50_sec",
+            "Median queue-wait of recently granted leases")
+        self.lease_wait_p95 = registry.gauge(
+            "repro_dist_lease_wait_p95_sec",
+            "95th-percentile queue-wait of recently granted leases")
+
+
 def _bundle(cls):
     registry = _obs.get_registry()
     if registry is None:
@@ -255,3 +275,7 @@ def plant_meters() -> PlantMeters | None:
 
 def campaign_meters() -> CampaignMeters | None:
     return _bundle(CampaignMeters)
+
+
+def dist_meters() -> DistMeters | None:
+    return _bundle(DistMeters)

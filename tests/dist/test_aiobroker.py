@@ -357,3 +357,50 @@ def test_client_driven_shutdown_sets_stopped_event():
     _wait_until(coordinator._stopped.is_set, what="stop event")
     client.close()
     coordinator.stop()
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant parity: fair-share scheduling must not touch results
+# ----------------------------------------------------------------------
+def test_three_tenant_mixed_weights_byte_identical_to_solo():
+    """Three tenants at weights 1/2/4 share one fleet concurrently;
+    each tenant's summary and records are byte-identical to its own
+    solo serial run.  The arbiter may reorder *grants* freely --
+    determinism lives in (scenario, seed), never in scheduling."""
+    import json
+
+    from repro.scenarios import CampaignRunner, Scenario, sweep
+    from repro.scenarios.stock import fast_hil
+
+    def grid(tag, seeds):
+        base = Scenario(f"tenant-{tag}", hil=fast_hil(),
+                        duration_sec=2.0)
+        return sweep([base], seeds=seeds)
+
+    tenants = [("w1", 1.0, [11, 12]), ("w2", 2.0, [21, 22]),
+               ("w4", 4.0, [41, 42])]
+    solo = {tag: CampaignRunner(parallel=False).run(grid(tag, seeds))
+            for tag, _w, seeds in tenants}
+    shared = {}
+    with LocalCluster(n_workers=2, slots=2) as cluster:
+        cluster.wait_for_workers()
+
+        def run_tenant(tag, weight, seeds):
+            shared[tag] = cluster.runner(
+                weight=weight, name=tag).run(grid(tag, seeds))
+
+        threads = [threading.Thread(target=run_tenant, args=t)
+                   for t in tenants]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+            assert not t.is_alive()
+    for tag, _w, _seeds in tenants:
+        assert not shared[tag].failed
+        assert json.dumps(shared[tag].summary, sort_keys=True) == \
+            json.dumps(solo[tag].summary, sort_keys=True)
+        assert json.dumps([r["metrics"] for r in shared[tag].records],
+                          sort_keys=True) == \
+            json.dumps([r["metrics"] for r in solo[tag].records],
+                       sort_keys=True)

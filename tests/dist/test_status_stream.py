@@ -216,3 +216,50 @@ class TestCoordinatorBridge:
             time.sleep(0.3)
         assert registry.values()["=repro_dist_up"] == 0.0
         assert bridge.updates_received == 0
+
+
+class TestSettledCampaignPinsItsClock:
+    def test_rate_frozen_and_no_phantom_eta_after_settle(self, cluster):
+        """Regression: a campaign that settles between snapshot ticks
+        used to keep aging its rate denominator (``now - started``),
+        so later snapshots reported a decaying rate -- and a stale-rate
+        ETA could revive.  Settling pins the clock: every snapshot
+        after the last result reports the rate the batch actually
+        achieved, and no ETA."""
+        with cluster.runner(name="pin-test") as runner:
+            assert runner.map_jobs(sleepy_echo,
+                                   [{"sleep_sec": 0.05, "value": i}
+                                    for i in range(4)]) == [0, 1, 2, 3]
+            first = {c["name"]: c for c in
+                     runner.status()["campaigns"]}["pin-test"]
+            time.sleep(0.35)  # several broadcast periods of idle age
+            second = {c["name"]: c for c in
+                      runner.status()["campaigns"]}["pin-test"]
+        assert first["outstanding"] == 0
+        assert first["rate_per_sec"] > 0.0
+        assert first["rate_per_sec"] == second["rate_per_sec"]
+        assert first["eta_sec"] is None and second["eta_sec"] is None
+        # An idle tenant holds no share of the grant bandwidth.
+        assert second["share"] == 0.0
+
+
+class TestFormatStatusLineFairShare:
+    def test_share_appended_only_when_backlogged(self):
+        line = format_status_line(
+            {"pending": 2, "leased": 1, "workers": [{}],
+             "stats": {"jobs_completed": 1},
+             "campaigns": [{"name": "grid", "outstanding": 2,
+                            "completed": 1, "failed": 0,
+                            "rate_per_sec": 1.0, "eta_sec": 2.0,
+                            "share": 0.25}]})
+        assert "[grid: 1/3 @1.0/s eta=2s share=25%]" in line
+
+    def test_fleet_shown_only_for_autoscaled_brokers(self):
+        base = {"pending": 0, "leased": 0, "workers": [{}, {}],
+                "stats": {}}
+        assert "fleet=" not in format_status_line(base)
+        line = format_status_line(
+            dict(base, fleet_size=2,
+                 autoscale={"min": 1, "max": 6,
+                            "scaled_up": 3, "scaled_down": 1}))
+        assert "fleet=2[1:6]" in line
