@@ -19,6 +19,13 @@ and are reported as new.  Snapshots that carry an ``obs_overhead`` table
 budget: a meter whose telemetry-on overhead exceeds 10% fails the gate.
 Exit status: 0 = trend holds, 1 = regression.
 
+Since the results warehouse landed, this script is a thin client of
+``repro.warehouse``: ``main`` ingests the snapshots into an in-memory
+warehouse and gates on ``trend_failures`` / ``obs_overhead_failures``
+-- the exact queries ``python -m repro.warehouse trend --gate`` runs
+against a durable warehouse -- so CI's pass/fail semantics and this
+module's ``check_trend``/``check_obs_overhead`` API are unchanged.
+
 Run it the way CI does::
 
     python benchmarks/bench_trend.py
@@ -35,9 +42,23 @@ from pathlib import Path
 
 from meters import is_duration_meter
 
-DEFAULT_TOLERANCE = 0.20
-OBS_OVERHEAD_BUDGET_PCT = 10.0
-"""Max telemetry-on rate loss per hot meter (the acceptance budget)."""
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:
+    # CI invokes this script bare (no PYTHONPATH=src); the warehouse
+    # package the gate queries lives under src/.
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.warehouse import (  # noqa: E402 - after the path fix above
+    bench_snapshots,
+    ingest_snapshots,
+    obs_overhead_failures,
+    open_warehouse,
+    trend_failures,
+)
+from repro.warehouse.query import (  # noqa: E402
+    DEFAULT_TOLERANCE,
+    OBS_OVERHEAD_BUDGET_PCT,
+)
 
 _SNAPSHOT_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
@@ -55,53 +76,16 @@ def load_snapshots(root: Path) -> list[tuple[int, dict]]:
 
 def check_trend(snapshots: list[tuple[int, dict]],
                 tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
-    """Regression messages (empty = the trend holds)."""
-    failures: list[str] = []
-    latest_by_meter: dict[str, tuple[int, float]] = {}
-    for number, snapshot in snapshots:
-        optimized = snapshot.get("optimized", {})
-        for meter, rate in sorted(optimized.items()):
-            prior = latest_by_meter.get(meter)
-            if prior is not None:
-                prior_number, prior_rate = prior
-                if prior_rate > 0 and is_duration_meter(meter) \
-                        and rate > prior_rate * (1.0 + tolerance):
-                    failures.append(
-                        f"{meter}: BENCH_{number} optimized "
-                        f"{rate:,.3f} s is "
-                        f"{(rate / prior_rate - 1.0) * 100.0:.0f}% above "
-                        f"BENCH_{prior_number} ({prior_rate:,.3f} s); "
-                        f"tolerance is {tolerance * 100.0:.0f}%")
-                elif prior_rate > 0 and not is_duration_meter(meter) \
-                        and rate < prior_rate * (1.0 - tolerance):
-                    failures.append(
-                        f"{meter}: BENCH_{number} optimized "
-                        f"{rate:,.1f}/s is "
-                        f"{(1.0 - rate / prior_rate) * 100.0:.0f}% below "
-                        f"BENCH_{prior_number} ({prior_rate:,.1f}/s); "
-                        f"tolerance is {tolerance * 100.0:.0f}%")
-            latest_by_meter[meter] = (number, rate)
-    return failures
+    """Regression messages (empty = the trend holds); delegates to the
+    warehouse trend query (same rule, same messages)."""
+    return trend_failures(snapshots, tolerance=tolerance)
 
 
 def check_obs_overhead(snapshots: list[tuple[int, dict]],
                        budget_pct: float = OBS_OVERHEAD_BUDGET_PCT,
                        ) -> list[str]:
     """Telemetry-budget violations in the latest ``obs_overhead`` table."""
-    carrying = [(n, s) for n, s in snapshots if s.get("obs_overhead")]
-    if not carrying:
-        return []
-    number, snapshot = carrying[-1]
-    failures = []
-    for meter, row in sorted(snapshot["obs_overhead"].items()):
-        overhead = float(row.get("overhead_pct", 0.0))
-        if overhead > budget_pct:
-            failures.append(
-                f"{meter}: BENCH_{number} telemetry-on overhead "
-                f"{overhead:.2f}% exceeds the {budget_pct:.0f}% budget "
-                f"(off {row.get('off', 0):,.0f}/s, "
-                f"on {row.get('on', 0):,.0f}/s)")
-    return failures
+    return obs_overhead_failures(snapshots, budget_pct=budget_pct)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -113,16 +97,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="allowed fractional regression per meter "
                              "(default 0.20)")
     args = parser.parse_args(argv)
-    root = Path(args.root) if args.root else \
-        Path(__file__).resolve().parent.parent
-    snapshots = load_snapshots(root)
-    if not snapshots:
+    root = Path(args.root) if args.root else _REPO_ROOT
+    loaded = load_snapshots(root)
+    if not loaded:
         print(f"bench-trend: no BENCH_*.json snapshots under {root}")
         return 1
-    names = ", ".join(f"BENCH_{n}" for n, _ in snapshots)
-    print(f"bench-trend: {len(snapshots)} snapshot(s): {names}")
-    failures = check_trend(snapshots, args.tolerance)
-    failures += check_obs_overhead(snapshots)
+    # The gate IS a warehouse query: ingest the snapshot files into a
+    # private in-memory warehouse and run the trend checks against it.
+    with open_warehouse(":memory:") as wh:
+        ingest_snapshots(wh, loaded)
+        snapshots = bench_snapshots(wh)
+        names = ", ".join(f"BENCH_{n}" for n, _ in snapshots)
+        print(f"bench-trend: {len(snapshots)} snapshot(s): {names}")
+        failures = trend_failures(snapshots, tolerance=args.tolerance)
+        failures += obs_overhead_failures(snapshots)
     seen: set[str] = set()
     for number, snapshot in snapshots:
         for meter, rate in sorted(snapshot.get("optimized", {}).items()):

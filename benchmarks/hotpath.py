@@ -15,7 +15,7 @@ snapshot so the perf trajectory of the repo is tracked across PRs::
     PYTHONPATH=src python benchmarks/hotpath.py --label optimized
 
 Each invocation merges its numbers under the given label into the
-snapshot file (default ``BENCH_9.json`` at the repo root) and, when both
+snapshot file (default ``BENCH_10.json`` at the repo root) and, when both
 ``baseline`` and ``optimized`` are present, computes the speedup table.
 ``--obs-overhead`` additionally re-measures the hottest meters with
 ``repro.obs`` telemetry enabled and records the off/on overhead table
@@ -489,6 +489,64 @@ def bench_flowsheet_np_steps(n_steps: int = 3_000) -> float:
 
 
 # ----------------------------------------------------------------------
+# Warehouse: campaign-store ingest throughput
+# ----------------------------------------------------------------------
+def bench_warehouse_ingest(n_runs: int = 400, reps: int = 3) -> float:
+    """Ingest a committed ``n_runs``-record campaign store (records +
+    summary + one telemetry row per run) into a fresh sqlite warehouse;
+    the rate is run records ingested per second.  The store is built
+    once with synthetic-but-shaped records; each rep ingests into a
+    brand-new warehouse so digest-dedup never short-circuits the work."""
+    import shutil
+    import tempfile
+
+    from repro.scenarios.store import ResultsStore
+    from repro.warehouse import ingest_store, open_warehouse
+
+    tmp = Path(tempfile.mkdtemp(prefix="bench_wh_"))
+    try:
+        store = ResultsStore(tmp / "campaign")
+        store.begin_staging()
+        obs_rows = []
+        for i in range(n_runs):
+            run_id = f"{i:05d}_bench_s{i}"
+            record = {
+                "run_id": run_id,
+                "scenario": {"name": f"bench-{i % 8}", "seed": i,
+                             "duration_sec": 30.0,
+                             "hil": {"slots_per_frame": 50,
+                                     "seed": i}},
+                "metrics": {"scenario": f"bench-{i % 8}", "seed": i,
+                            "failover_latency_sec": 0.5 + (i % 17) * 0.1,
+                            "control_cost": 10.0 + (i % 5),
+                            "packet_loss_ratio": 0.01 * (i % 3),
+                            "crashes": i % 2,
+                            "failovers_executed": 1},
+            }
+            store.stage_run(run_id, record)
+            obs_rows.append({"run_id": run_id,
+                             "metrics": {"repro_campaign_runs_total": 1}})
+        store.commit_staged()
+        store.save_summary({"total_runs": n_runs})
+        store.save_metrics_jsonl(obs_rows)
+
+        def measure():
+            wh_dir = tmp / f"wh_{time.monotonic_ns()}"
+            with open_warehouse(wh_dir) as wh:
+                start = time.perf_counter()
+                report = ingest_store(wh, tmp / "campaign",
+                                      tenant="bench")
+                elapsed = time.perf_counter() - start
+            assert report.runs == n_runs and report.duplicates == 0
+            shutil.rmtree(wh_dir)
+            return n_runs, elapsed
+
+        return _best_rate(measure, reps=reps)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
 # Trace: structured event recording (dominates traced runs)
 # ----------------------------------------------------------------------
 def bench_traced_events(n_events: int = 120_000) -> float:
@@ -601,6 +659,7 @@ METRICS = {
     "dist_connect_1000_sec": bench_dist_connect_1000,
     "dist_echo_under_load_per_sec": bench_dist_echo_under_load,
     "dist_fairshare_makespan_sec": bench_dist_fairshare_makespan,
+    "warehouse_ingest_runs_per_sec": bench_warehouse_ingest,
     "plant_steps_per_sec": bench_plant_steps,
     "flowsheet_np_steps_per_sec": bench_flowsheet_np_steps,
     "traced_events_per_sec": bench_traced_events,
@@ -694,7 +753,7 @@ def main() -> None:
                         choices=("baseline", "optimized"),
                         help="which side of the comparison this run records")
     parser.add_argument("--out", default=None,
-                        help="snapshot path (default: <repo>/BENCH_9.json)")
+                        help="snapshot path (default: <repo>/BENCH_10.json)")
     parser.add_argument("--json", action="store_true",
                         help="print the full updated snapshot as JSON on "
                              "stdout (for CI log capture / scripting)")
@@ -713,16 +772,17 @@ def main() -> None:
     args = parser.parse_args()
 
     out = Path(args.out) if args.out else \
-        Path(__file__).resolve().parent.parent / "BENCH_9.json"
+        Path(__file__).resolve().parent.parent / "BENCH_10.json"
     snapshot = json.loads(out.read_text()) if out.exists() else {
-        "bench": 9,
+        "bench": 10,
         "description": ("Hot-path microbenchmark snapshot: Engine event "
                         "dispatch, Process resumes, EVM interpretation, "
                         "Medium frame resolution, campaign sweep "
                         "throughput (local pool and distributed "
                         "coordinator/worker cluster at 8 workers), the "
                         "dist wire meters (frame relay rate, 1000-client "
-                        "connect ramp, echo latency under load, three-tenant fair-share makespan), plant "
+                        "connect ramp, echo latency under load, three-tenant fair-share makespan), "
+                        "results-warehouse campaign-store ingest, plant "
                         "stepping on the scalar and numpy flowsheet "
                         "backends, trace recording, the 100/256/1000-node "
                         "wide-grid failover trials and the repro.obs "

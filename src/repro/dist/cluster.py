@@ -218,13 +218,16 @@ class LocalCluster:
     def runner(self, results_dir: str | None = None,
                max_attempts: int | None = None,
                weight: float = 1.0, name: str = "",
+               warehouse: Any = None, tenant: str | None = None,
                ) -> DistributedCampaignRunner:
         """A client runner bound to this cluster (closed with it);
-        ``weight`` declares its fair-share scheduling weight."""
+        ``weight`` declares its fair-share scheduling weight and
+        ``warehouse=``/``tenant=`` opt into post-commit warehouse
+        ingestion (see :class:`DistributedCampaignRunner`)."""
         runner = DistributedCampaignRunner(
             self.address, results_dir=results_dir,
             max_attempts=max_attempts, compress=self.compress,
-            weight=weight, name=name)
+            weight=weight, name=name, warehouse=warehouse, tenant=tenant)
         self._runners.append(runner)
         return runner
 

@@ -123,12 +123,19 @@ class DistributedCampaignRunner:
     gets while both are backlogged); it must be a finite number > 0 --
     validated here, at submission time, rather than letting the
     coordinator reject the whole batch later.
+
+    ``warehouse=`` (a ``repro.warehouse`` directory path or open
+    warehouse) opts into streaming ingestion: each committed campaign
+    is ingested right after ``commit_staged``/``save_summary``, keyed
+    under this runner's name as the tenant (override with ``tenant=``).
+    Requires ``results_dir``.
     """
 
     def __init__(self, address: str, results_dir: str | None = None,
                  max_attempts: int | None = None,
                  connect_timeout: float = 10.0, name: str = "",
-                 compress: bool = True, weight: float = 1.0) -> None:
+                 compress: bool = True, weight: float = 1.0,
+                 warehouse: Any = None, tenant: str | None = None) -> None:
         self.address = address
         self.results_dir = results_dir
         self.max_attempts = max_attempts
@@ -136,6 +143,11 @@ class DistributedCampaignRunner:
         self.name = name or "campaign-client"
         self.compress = compress
         self.weight = validate_weight(weight)
+        self.warehouse = warehouse
+        self.tenant = tenant if tenant is not None else self.name
+        if warehouse is not None and results_dir is None:
+            raise ValueError("warehouse= requires results_dir= (the "
+                             "warehouse ingests committed stores)")
         self._sock: socket.socket | None = None
         # Negotiated per connection at welcome; plain until then.
         self._tx_compress = False
@@ -351,4 +363,8 @@ class DistributedCampaignRunner:
             store.save_summary(result.summary)
             store.save_metrics_jsonl(obs_rows)
             result.store_root = str(store.root)
+            if self.warehouse is not None:
+                from repro.scenarios.runner import _ingest_committed
+
+                _ingest_committed(self.warehouse, store.root, self.tenant)
         return result

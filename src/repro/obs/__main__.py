@@ -23,7 +23,8 @@ from repro.obs.http import MetricsServer
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     registry = obs.enable()
-    server = MetricsServer(registry, host=args.host, port=args.port)
+    server = MetricsServer(registry, host=args.host, port=args.port,
+                           warehouse=args.warehouse)
     bridge = None
     if args.connect:
         from repro.obs.bridge import CoordinatorBridge
@@ -32,7 +33,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                    period=args.interval).start()
     server.start()
     print(f"serving metrics on {server.url}/metrics"
-          + (f" (bridging {args.connect})" if args.connect else ""),
+          + (f" (bridging {args.connect})" if args.connect else "")
+          + (f" (warehouse query edge over {args.warehouse})"
+             if args.warehouse else ""),
           flush=True)
     try:
         if args.duration is not None:
@@ -62,6 +65,10 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--connect", metavar="HOST:PORT", default=None,
                        help="also mirror a repro.dist coordinator's "
                             "status stream into the exposition")
+    serve.add_argument("--warehouse", metavar="DIR", default=None,
+                       help="mount the results-warehouse query edge "
+                            "(/campaigns, /query, /trend) on the same "
+                            "port")
     serve.add_argument("--interval", type=float, default=1.0,
                        help="status-stream subscription period (s)")
     serve.add_argument("--duration", type=float, default=None,

@@ -1,14 +1,30 @@
 """Prometheus/JSON export over a tiny stdlib HTTP server.
 
 ``MetricsServer`` wraps :class:`http.server.ThreadingHTTPServer` with
-three read-only endpoints:
+read-only endpoints:
 
 - ``/metrics``  -- Prometheus text exposition 0.0.4 (scrape target);
 - ``/snapshot`` -- the registry's structured JSON dump;
 - ``/healthz``  -- liveness probe (``ok``).
 
-No dependencies beyond the standard library; the server runs on a
-daemon thread so embedding it in a campaign script costs one line.
+With a ``warehouse=`` directory mounted, the **results-warehouse query
+edge** joins the same process (one daemon serves live metrics *and*
+durable analytics, so dashboards and the coordinator bridge share a
+port):
+
+- ``/campaigns``   -- the campaign catalog (JSON);
+- ``/query?...``   -- cross-campaign aggregates; filters
+  (``campaign``/``tenant``/``scenario``/``seed``/``grid_size``/
+  ``commit``, repeatable), ``group_by`` (comma-separated), ``meter``
+  and ``percentiles`` mirror ``python -m repro.warehouse query``;
+- ``/trend?meter=...&window=N`` -- per-meter perf trajectories over
+  the ingested ``BENCH_*`` snapshots.
+
+The warehouse is reopened read-only per request (handler threads never
+share a sqlite connection), so a long-lived exporter always serves the
+latest ingested rows.  No dependencies beyond the standard library; the
+server runs on a daemon thread so embedding it in a campaign script
+costs one line.
 """
 
 from __future__ import annotations
@@ -16,12 +32,58 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["MetricsServer", "PROMETHEUS_CONTENT_TYPE"]
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_QUERY_FILTERS = ("campaign", "tenant", "scenario", "seed",
+                  "grid_size", "commit")
+
+
+def _warehouse_query(warehouse_path: str, path: str,
+                     params: dict[str, list[str]]) -> dict:
+    """One read-only warehouse request -> a JSON-ready dict."""
+    from repro.warehouse import open_warehouse
+    from repro.warehouse import query as query_mod
+
+    with open_warehouse(warehouse_path) as wh:
+        if path == "/campaigns":
+            return {"campaigns": query_mod.campaigns(wh)}
+        if path == "/query":
+            where: dict = {}
+            for field in _QUERY_FILTERS:
+                values: list = params.get(field, [])
+                if field in ("seed", "grid_size"):
+                    values = [int(v) for v in values]
+                if len(values) == 1:
+                    where[field] = values[0]
+                elif values:
+                    where[field] = values
+            group_by = [f for f in
+                        params.get("group_by", ["campaign"])[0].split(",")
+                        if f]
+            meter = params.get("meter", [None])[0]
+            percentiles = [float(q) for q in
+                           params.get("percentiles", ["50,90,99"])[0]
+                           .split(",") if q]
+            return query_mod.query_runs(wh, where=where,
+                                        group_by=group_by, meter=meter,
+                                        percentiles=percentiles)
+        if path == "/trend":
+            snapshots = query_mod.bench_snapshots(wh)
+            meters = params.get("meter") or query_mod.trend_meters(snapshots)
+            window = params.get("window", [None])[0]
+            window = int(window) if window else None
+            return {"meters": {
+                meter: [{"bench": n, "value": v} for n, v in
+                        query_mod.trend_series(snapshots, meter,
+                                               window=window)]
+                for meter in meters}}
+    raise KeyError(path)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -30,7 +92,8 @@ class _Handler(BaseHTTPRequestHandler):
     server: "_Server"
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        path = self.path.split("?", 1)[0]
+        split = urlsplit(self.path)
+        path = split.path
         if path in ("/metrics", "/"):
             body = self.server.registry.render_prometheus().encode()
             self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
@@ -40,6 +103,20 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(200, "application/json", body)
         elif path == "/healthz":
             self._reply(200, "text/plain; charset=utf-8", b"ok\n")
+        elif path in ("/campaigns", "/query", "/trend"):
+            if self.server.warehouse_path is None:
+                self._reply(404, "text/plain; charset=utf-8",
+                            b"no warehouse mounted\n")
+                return
+            try:
+                result = _warehouse_query(self.server.warehouse_path,
+                                          path, parse_qs(split.query))
+            except (ValueError, KeyError) as exc:
+                self._reply(400, "text/plain; charset=utf-8",
+                            f"bad query: {exc}\n".encode())
+                return
+            body = json.dumps(result, sort_keys=True).encode()
+            self._reply(200, "application/json", body)
         else:
             self._reply(404, "text/plain; charset=utf-8",
                         b"not found\n")
@@ -60,21 +137,37 @@ class _Server(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
     registry: MetricsRegistry
+    warehouse_path: str | None
 
 
 class MetricsServer:
-    """Serve a registry over HTTP on a daemon thread.
+    """Serve a registry (and optionally a results warehouse) over HTTP
+    on a daemon thread.
 
     ``port=0`` binds an ephemeral port; read it back from
-    :attr:`address` after :meth:`start`.
+    :attr:`address` after :meth:`start`.  ``warehouse=`` mounts the
+    read-only query edge on the same port (a warehouse directory path,
+    or an open ``Warehouse`` whose ``root`` is on disk).
     """
 
     def __init__(self, registry: MetricsRegistry, host: str = "127.0.0.1",
-                 port: int = 9109) -> None:
+                 port: int = 9109, warehouse=None) -> None:
         self.registry = registry
         self._server = _Server((host, port), _Handler)
         self._server.registry = registry
+        self._server.warehouse_path = self._warehouse_path(warehouse)
         self._thread: threading.Thread | None = None
+
+    @staticmethod
+    def _warehouse_path(warehouse) -> str | None:
+        if warehouse is None:
+            return None
+        root = getattr(warehouse, "root", warehouse)
+        if root is None:
+            raise ValueError("the query edge needs an on-disk warehouse "
+                             "(in-memory warehouses cannot be reopened "
+                             "per request)")
+        return str(root)
 
     @property
     def address(self) -> tuple[str, int]:

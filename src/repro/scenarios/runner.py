@@ -138,16 +138,30 @@ class CampaignRunner:
     ``chunksize=None`` picks ~4 chunks per worker, a reasonable balance
     between pickle batching and tail latency; pass an explicit value to
     override.
+
+    ``warehouse=`` (a ``repro.warehouse`` directory path or open
+    :class:`~repro.warehouse.Warehouse`) opts into streaming ingestion:
+    each campaign is ingested into the warehouse right after its store
+    commit, under this runner's ``tenant`` and the store directory's
+    name as the campaign key.  It requires ``results_dir`` (the
+    warehouse ingests committed stores, not in-memory results).
     """
 
     def __init__(self, results_dir: str | None = None,
                  max_workers: int | None = None,
                  parallel: bool = True,
-                 chunksize: int | None = None) -> None:
+                 chunksize: int | None = None,
+                 warehouse: Any = None,
+                 tenant: str = "default") -> None:
         self.results_dir = results_dir
         self.max_workers = max_workers or (os.cpu_count() or 1)
         self.parallel = parallel and self.max_workers > 1
         self.chunksize = chunksize
+        self.warehouse = warehouse
+        self.tenant = tenant
+        if warehouse is not None and results_dir is None:
+            raise ValueError("warehouse= requires results_dir= (the "
+                             "warehouse ingests committed stores)")
         self._pool: ProcessPoolExecutor | None = None
         self._pool_finalizer: weakref.finalize | None = None
 
@@ -273,7 +287,17 @@ class CampaignRunner:
             # empty row set removes a stale metrics.jsonl.
             store.save_metrics_jsonl(obs_rows)
             result.store_root = str(store.root)
+            if self.warehouse is not None:
+                _ingest_committed(self.warehouse, store.root, self.tenant)
         return result
+
+
+def _ingest_committed(warehouse: Any, store_root, tenant: str) -> None:
+    """Stream a just-committed store into the opt-in warehouse target
+    (shared by the local and distributed runners)."""
+    from repro.warehouse import ingest_store
+
+    ingest_store(warehouse, store_root, tenant=tenant)
 
 
 # ----------------------------------------------------------------------

@@ -259,11 +259,32 @@ class ResultsStore:
 
     def load_metrics_jsonl(self) -> list[dict[str, Any]]:
         """The per-run telemetry rows, or ``[]`` when none were saved."""
+        rows, _skipped = self.load_metrics_jsonl_counted()
+        return rows
+
+    def load_metrics_jsonl_counted(self) -> tuple[list[dict[str, Any]], int]:
+        """Like :meth:`load_metrics_jsonl`, plus how many malformed
+        lines were skipped.
+
+        The side channel itself is written atomically, but a file
+        copied or truncated mid-write (crash during a backup, a torn
+        ``rsync``) can carry a torn trailing line; readers skip and
+        count such lines instead of raising, and the warehouse ingester
+        surfaces the count so silent telemetry loss stays visible.
+        """
         path = self.root / "metrics.jsonl"
         if not path.exists():
-            return []
-        return [json.loads(line)
-                for line in path.read_text().splitlines() if line]
+            return [], 0
+        rows: list[dict[str, Any]] = []
+        skipped = 0
+        for line in path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError:
+                skipped += 1
+        return rows, skipped
 
     def save_summary(self, summary: dict[str, Any]) -> Path:
         path = self.root / "campaign.json"

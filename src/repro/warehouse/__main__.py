@@ -1,0 +1,8 @@
+"""``python -m repro.warehouse`` entry point (see ``cli.py``)."""
+
+import sys
+
+from repro.warehouse.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

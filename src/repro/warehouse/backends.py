@@ -1,0 +1,255 @@
+"""Pluggable storage backends for the results warehouse.
+
+Two implementations of one narrow contract (append keyed rows, iterate
+a table, vacuum, close):
+
+- :class:`SqliteBackend` -- the default: a single stdlib ``sqlite3``
+  database in WAL mode (concurrent readers never block the writer and
+  vice versa), one generic ``rows`` table with a ``UNIQUE(tbl, key)``
+  constraint so idempotent re-ingest is a constraint check, not
+  application logic;
+- :class:`JsonlBackend` -- the zero-dependency fallback: one
+  append-only ``<table>.jsonl`` file per table under ``tables/``, rows
+  written whole under an exclusive lock, torn trailing lines (a reader
+  racing an append, or a crash mid-write) skipped on load.
+
+Both serialize multi-process writers through the same
+:class:`~repro.scenarios.store.CommitLock`-style ``flock`` on
+``<root>/.warehouse.lock`` -- sqlite has its own locking, but the
+shared flock gives the two backends identical concurrency semantics
+(and keeps the JSONL read-keys/append sequence atomic).  Reads take no
+lock.
+
+Row iteration returns ``(seq, key, row)`` sorted by **key**, not by
+insertion order: two warehouses fed the same data by concurrently
+racing ingesters -- or one sqlite and one JSONL warehouse fed the same
+stores -- enumerate identically, which is what makes backend-parity a
+testable property.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.scenarios.store import CommitLock
+
+LOCK_FILENAME = ".warehouse.lock"
+SQLITE_FILENAME = "warehouse.sqlite"
+JSONL_DIRNAME = "tables"
+
+
+class _NullLock:
+    """Lock stand-in for in-memory warehouses (single process by
+    construction, nothing on disk to guard)."""
+
+    def __enter__(self) -> "_NullLock":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+def _writer_lock(root: Path | None, timeout: float):
+    if root is None:
+        return _NullLock()
+    return CommitLock(root / LOCK_FILENAME, timeout=timeout)
+
+
+class SqliteBackend:
+    """Stdlib sqlite3 storage, WAL mode, one generic keyed-row table."""
+
+    name = "sqlite"
+
+    def __init__(self, root: str | Path | None,
+                 lock_timeout: float = 30.0) -> None:
+        self.root = Path(root) if root is not None else None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            db_path = str(self.root / SQLITE_FILENAME)
+        else:
+            db_path = ":memory:"
+        self._lock_timeout = lock_timeout
+        # check_same_thread=False: the query edge serves from
+        # http.server handler threads; every access here is either a
+        # single statement or wrapped in the writer flock.
+        self._conn = sqlite3.connect(db_path, timeout=lock_timeout,
+                                     check_same_thread=False)
+        if self.root is not None:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS rows ("
+            " seq INTEGER PRIMARY KEY AUTOINCREMENT,"
+            " tbl TEXT NOT NULL,"
+            " key TEXT NOT NULL,"
+            " data TEXT NOT NULL,"
+            " UNIQUE(tbl, key))")
+        self._conn.commit()
+
+    def append_rows(self, table: str,
+                    keyed_rows: list[tuple[str, dict[str, Any]]],
+                    ) -> tuple[int, int]:
+        """Insert ``(key, row)`` pairs; returns ``(inserted,
+        duplicates)``.  A key already present leaves the stored row
+        untouched (append-only: first write wins for a given key)."""
+        if not keyed_rows:
+            return 0, 0
+        with _writer_lock(self.root, self._lock_timeout):
+            cursor = self._conn.executemany(
+                "INSERT OR IGNORE INTO rows (tbl, key, data) "
+                "VALUES (?, ?, ?)",
+                [(table, key, json.dumps(row, sort_keys=True))
+                 for key, row in keyed_rows])
+            self._conn.commit()
+            inserted = cursor.rowcount if cursor.rowcount >= 0 else 0
+        return inserted, len(keyed_rows) - inserted
+
+    def iter_rows(self, table: str) -> Iterator[tuple[int, str, dict]]:
+        cursor = self._conn.execute(
+            "SELECT seq, key, data FROM rows WHERE tbl = ? ORDER BY key",
+            (table,))
+        for seq, key, data in cursor:
+            yield int(seq), str(key), json.loads(data)
+
+    def counts(self) -> dict[str, int]:
+        cursor = self._conn.execute(
+            "SELECT tbl, COUNT(*) FROM rows GROUP BY tbl ORDER BY tbl")
+        return {str(tbl): int(n) for tbl, n in cursor}
+
+    def delete_keys(self, table: str, keys: list[str]) -> int:
+        if not keys:
+            return 0
+        with _writer_lock(self.root, self._lock_timeout):
+            cursor = self._conn.executemany(
+                "DELETE FROM rows WHERE tbl = ? AND key = ?",
+                [(table, key) for key in keys])
+            self._conn.commit()
+            return cursor.rowcount if cursor.rowcount >= 0 else 0
+
+    def vacuum(self) -> None:
+        with _writer_lock(self.root, self._lock_timeout):
+            self._conn.execute("VACUUM")
+            self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+class JsonlBackend:
+    """Append-only ``<table>.jsonl`` files; no dependencies beyond the
+    filesystem.  Each line is ``{"seq": n, "key": k, "row": {...}}``;
+    appends happen whole under the writer flock with the key set
+    re-read first, so concurrent ingesters neither lose nor duplicate
+    rows."""
+
+    name = "jsonl"
+
+    def __init__(self, root: str | Path,
+                 lock_timeout: float = 30.0) -> None:
+        if root is None:
+            raise ValueError("the JSONL backend requires a directory "
+                             "(no in-memory mode)")
+        self.root = Path(root)
+        self._tables_dir = self.root / JSONL_DIRNAME
+        self._tables_dir.mkdir(parents=True, exist_ok=True)
+        self._lock_timeout = lock_timeout
+
+    def _path(self, table: str) -> Path:
+        return self._tables_dir / f"{table}.jsonl"
+
+    def _load(self, table: str) -> list[dict[str, Any]]:
+        """Every intact line of a table file; torn trailing lines (a
+        crash or a racing reader mid-append) are skipped, mirroring the
+        store's ``metrics.jsonl`` hardening."""
+        path = self._path(table)
+        if not path.exists():
+            return []
+        entries = []
+        for line in path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+        return entries
+
+    def append_rows(self, table: str,
+                    keyed_rows: list[tuple[str, dict[str, Any]]],
+                    ) -> tuple[int, int]:
+        if not keyed_rows:
+            return 0, 0
+        with _writer_lock(self.root, self._lock_timeout):
+            existing = self._load(table)
+            seen = {entry["key"] for entry in existing}
+            next_seq = max((int(entry.get("seq", 0))
+                            for entry in existing), default=0) + 1
+            fresh = []
+            for key, row in keyed_rows:
+                if key in seen:
+                    continue
+                seen.add(key)
+                fresh.append({"seq": next_seq, "key": key, "row": row})
+                next_seq += 1
+            if fresh:
+                blob = "".join(json.dumps(entry, sort_keys=True) + "\n"
+                               for entry in fresh)
+                fd = os.open(self._path(table),
+                             os.O_CREAT | os.O_WRONLY | os.O_APPEND,
+                             0o644)
+                try:
+                    os.write(fd, blob.encode("utf-8"))
+                finally:
+                    os.close(fd)
+        return len(fresh), len(keyed_rows) - len(fresh)
+
+    def iter_rows(self, table: str) -> Iterator[tuple[int, str, dict]]:
+        entries = sorted(self._load(table), key=lambda e: e["key"])
+        for entry in entries:
+            yield int(entry.get("seq", 0)), str(entry["key"]), entry["row"]
+
+    def counts(self) -> dict[str, int]:
+        out = {}
+        for path in sorted(self._tables_dir.glob("*.jsonl")):
+            n = len(self._load(path.stem))
+            if n:
+                out[path.stem] = n
+        return out
+
+    def delete_keys(self, table: str, keys: list[str]) -> int:
+        drop = set(keys)
+        if not drop:
+            return 0
+        with _writer_lock(self.root, self._lock_timeout):
+            entries = self._load(table)
+            kept = [e for e in entries if e["key"] not in drop]
+            removed = len(entries) - len(kept)
+            if removed:
+                self._rewrite(table, kept)
+        return removed
+
+    def _rewrite(self, table: str, entries: list[dict[str, Any]]) -> None:
+        path = self._path(table)
+        tmp = path.with_suffix(".jsonl.tmp")
+        tmp.write_text("".join(json.dumps(entry, sort_keys=True) + "\n"
+                               for entry in entries))
+        os.replace(tmp, path)
+
+    def vacuum(self) -> None:
+        """Rewrite each table file (drops any torn lines for good)."""
+        with _writer_lock(self.root, self._lock_timeout):
+            for path in sorted(self._tables_dir.glob("*.jsonl")):
+                self._rewrite(path.stem, self._load(path.stem))
+
+    def close(self) -> None:
+        pass
+
+
+BACKENDS: dict[str, Callable[..., Any]] = {
+    SqliteBackend.name: SqliteBackend,
+    JsonlBackend.name: JsonlBackend,
+}

@@ -1,0 +1,139 @@
+"""The :class:`Warehouse` handle and :func:`open_warehouse` factory.
+
+A warehouse is a directory (or ``":memory:"`` for tests and one-shot
+gates) holding one backend's storage plus the shared writer lock.  The
+backend is chosen at creation time and auto-detected afterwards from
+what is on disk, so readers never need to be told which flavor they are
+opening::
+
+    wh = open_warehouse("results/warehouse")            # sqlite (default)
+    wh = open_warehouse("results/wh2", backend="jsonl") # zero-dep fallback
+    wh = open_warehouse("results/warehouse")            # reopens, detected
+
+All query logic lives in :mod:`repro.warehouse.query` as pure functions
+over the backend's sorted row streams, which is what guarantees the two
+backends answer every query identically.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.warehouse.backends import (
+    BACKENDS,
+    JSONL_DIRNAME,
+    SQLITE_FILENAME,
+    JsonlBackend,
+    SqliteBackend,
+)
+
+DEFAULT_BACKEND = SqliteBackend.name
+
+
+def detect_backend(root: str | Path) -> str | None:
+    """The backend a directory already holds, or ``None`` when empty."""
+    root = Path(root)
+    if (root / SQLITE_FILENAME).exists():
+        return SqliteBackend.name
+    if (root / JSONL_DIRNAME).exists():
+        return JsonlBackend.name
+    return None
+
+
+class Warehouse:
+    """A thin facade over one backend: append keyed rows, stream
+    tables, vacuum.  Use :func:`open_warehouse` to construct."""
+
+    def __init__(self, backend: Any, root: Path | None) -> None:
+        self.backend = backend
+        self.root = root
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
+
+    def append_rows(self, table: str,
+                    keyed_rows: list[tuple[str, dict[str, Any]]],
+                    ) -> tuple[int, int]:
+        return self.backend.append_rows(table, keyed_rows)
+
+    def rows(self, table: str) -> Iterator[tuple[int, str, dict]]:
+        return self.backend.iter_rows(table)
+
+    def counts(self) -> dict[str, int]:
+        return self.backend.counts()
+
+    def vacuum(self) -> dict[str, int]:
+        """Drop superseded duplicates, then compact the storage.
+
+        Append-only ingest keeps every content version of a row; for
+        rows sharing a logical identity (same key prefix up to the
+        content digest -- e.g. a re-ingested run that genuinely
+        changed), only the most recently inserted version survives a
+        vacuum.  Returns ``{table: rows_removed}``.
+        """
+        removed: dict[str, int] = {}
+        for table in sorted(self.counts()):
+            latest: dict[str, tuple[int, str]] = {}
+            drop: list[str] = []
+            for seq, key, _row in self.rows(table):
+                identity = key.rsplit("|", 1)[0]
+                prior = latest.get(identity)
+                if prior is None:
+                    latest[identity] = (seq, key)
+                elif seq > prior[0]:
+                    drop.append(prior[1])
+                    latest[identity] = (seq, key)
+                else:
+                    drop.append(key)
+            count = self.backend.delete_keys(table, drop)
+            if count:
+                removed[table] = count
+        self.backend.vacuum()
+        return removed
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def __enter__(self) -> "Warehouse":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def open_warehouse(target: "str | Path | Warehouse",
+                   backend: str | None = None,
+                   lock_timeout: float = 30.0) -> Warehouse:
+    """Open (creating if needed) the warehouse at ``target``.
+
+    ``target`` may be a directory path, ``":memory:"`` (private
+    in-process sqlite, used by one-shot gates), or an existing
+    :class:`Warehouse` (returned as-is, so APIs can accept either).
+    ``backend`` picks the storage flavor for a *new* warehouse
+    (``"sqlite"`` default, ``"jsonl"`` fallback); an existing directory
+    is auto-detected and ``backend`` must match it if given.
+    """
+    if isinstance(target, Warehouse):
+        return target
+    if str(target) == ":memory:":
+        if backend not in (None, SqliteBackend.name):
+            raise ValueError(f"in-memory warehouses are sqlite-only, "
+                             f"got backend={backend!r}")
+        return Warehouse(SqliteBackend(None), root=None)
+    root = Path(target)
+    detected = detect_backend(root) if root.exists() else None
+    if detected is not None:
+        if backend is not None and backend != detected:
+            raise ValueError(
+                f"warehouse at {root} is {detected!r}, not {backend!r}")
+        backend = detected
+    elif backend is None:
+        backend = DEFAULT_BACKEND
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(f"unknown warehouse backend {backend!r}; "
+                         f"expected one of {sorted(BACKENDS)}") from None
+    return Warehouse(factory(root, lock_timeout=lock_timeout), root=root)

@@ -1,0 +1,69 @@
+"""The acceptance criterion end-to-end: two independently produced
+campaign stores -- one local ``CampaignRunner``, one distributed via
+``LocalCluster`` -- stream into one warehouse at commit time, and the
+cross-campaign queries return per-campaign aggregates byte-identical
+to each store's own ``summarize()`` output."""
+
+import json
+
+import pytest
+
+from repro.dist import LocalCluster
+from repro.scenarios import CampaignRunner, ResultsStore, Scenario
+from repro.scenarios.stock import fast_hil
+from repro.warehouse import campaign_summary, campaigns, open_warehouse
+
+
+def _grid(n=4, duration_sec=3.0):
+    return [Scenario(f"wh-{i % 2}", hil=fast_hil(), seed=i,
+                     duration_sec=duration_sec) for i in range(n)]
+
+
+@pytest.fixture(scope="module")
+def two_campaign_warehouse(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("wh_e2e")
+    wh_dir = tmp / "wh"
+    grid = _grid(4)
+    local = CampaignRunner(parallel=False,
+                           results_dir=str(tmp / "camp_local"),
+                           warehouse=str(wh_dir),
+                           tenant="alice").run(grid)
+    with LocalCluster(n_workers=2, slots=2) as cluster:
+        cluster.wait_for_workers()
+        dist = cluster.runner(results_dir=str(tmp / "camp_dist"),
+                              warehouse=str(wh_dir),
+                              tenant="bob").run(grid)
+    assert not dist.failed
+    return tmp, wh_dir, local, dist
+
+
+def test_both_campaigns_ingested_under_their_tenants(
+        two_campaign_warehouse):
+    _tmp, wh_dir, local, dist = two_campaign_warehouse
+    with open_warehouse(wh_dir) as wh:
+        catalog = {(e["tenant"], e["campaign"]): e for e in campaigns(wh)}
+    assert set(catalog) == {("alice", "camp_local"), ("bob", "camp_dist")}
+    for entry in catalog.values():
+        assert entry["runs"] == 4 and entry["failed"] == 0
+        assert entry["scenarios"] == ["wh-0", "wh-1"]
+        assert entry["has_summary"]
+
+
+def test_warehouse_summaries_byte_identical_to_stores(
+        two_campaign_warehouse):
+    tmp, wh_dir, local, dist = two_campaign_warehouse
+    with open_warehouse(wh_dir) as wh:
+        for campaign, store_dir in (("camp_local", tmp / "camp_local"),
+                                    ("camp_dist", tmp / "camp_dist")):
+            from_wh = campaign_summary(wh, campaign)
+            from_store = ResultsStore(store_dir).load_summary()
+            assert json.dumps(from_wh, sort_keys=True) == \
+                json.dumps(from_store, sort_keys=True)
+    # ... and both equal the in-memory result summaries.
+    assert json.dumps(local.summary, sort_keys=True) == \
+        json.dumps(dist.summary, sort_keys=True)
+
+
+def test_warehouse_requires_results_dir():
+    with pytest.raises(ValueError, match="results_dir"):
+        CampaignRunner(warehouse="/tmp/nowhere")

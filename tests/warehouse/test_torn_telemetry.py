@@ -1,0 +1,64 @@
+"""Torn trailing lines in ``metrics.jsonl`` (the satellite hardening).
+
+``save_metrics_jsonl`` writes atomically, but a store copied or
+truncated mid-write (crash during a backup, a torn rsync) can leave a
+half-line at the tail.  Readers must skip-and-count, not raise, and
+the warehouse ingester must surface the skip count."""
+
+import json
+
+from repro.scenarios.store import ResultsStore
+from repro.warehouse import ingest_store, open_warehouse, telemetry_totals
+
+from test_warehouse import make_store
+
+
+def _truncate_last_line(path, keep_chars=12):
+    text = path.read_text()
+    lines = text.splitlines(keepends=True)
+    lines[-1] = lines[-1][:keep_chars]  # torn mid-object, no newline
+    path.write_text("".join(lines))
+
+
+def test_load_metrics_jsonl_skips_and_counts_torn_tail(tmp_path):
+    store = make_store(tmp_path / "camp", 3)
+    _truncate_last_line(store.root / "metrics.jsonl")
+    rows, skipped = store.load_metrics_jsonl_counted()
+    assert len(rows) == 2 and skipped == 1
+    # The convenience reader keeps its old shape.
+    assert store.load_metrics_jsonl() == rows
+
+
+def test_interior_garbage_also_skipped(tmp_path):
+    store = make_store(tmp_path / "camp", 2)
+    path = store.root / "metrics.jsonl"
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join([lines[0], '{"torn": ', "", lines[1]]) + "\n")
+    rows, skipped = store.load_metrics_jsonl_counted()
+    assert len(rows) == 2 and skipped == 1  # blank lines aren't errors
+
+
+def test_missing_file_is_empty_not_an_error(tmp_path):
+    store = ResultsStore(tmp_path / "camp")
+    assert store.load_metrics_jsonl_counted() == ([], 0)
+
+
+def test_ingest_surfaces_skip_count(tmp_path):
+    store = make_store(tmp_path / "camp", 4)
+    _truncate_last_line(store.root / "metrics.jsonl")
+    report = ingest_store(tmp_path / "wh", tmp_path / "camp")
+    assert report.telemetry == 3
+    assert report.telemetry_skipped == 1
+    assert "malformed" in report.describe()
+    with open_warehouse(tmp_path / "wh") as wh:
+        totals = telemetry_totals(wh)
+        assert totals["repro_campaign_runs_total"] == 3
+
+
+def test_intact_file_round_trips_exactly(tmp_path):
+    store = make_store(tmp_path / "camp", 3)
+    rows, skipped = store.load_metrics_jsonl_counted()
+    assert skipped == 0
+    raw = [json.loads(line) for line in
+           (store.root / "metrics.jsonl").read_text().splitlines()]
+    assert rows == raw
